@@ -1,0 +1,67 @@
+// Distributed data-parallel training with remote storage (the Figure 14
+// scenario) on the REAL engine: two nodes each run a full SAND service,
+// fetch the encoded dataset once from a bandwidth-accounted remote store
+// (the Filestore role), shard every epoch's iterations round-robin, and
+// synchronize at a DDP barrier per global step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sand/internal/cluster"
+	"sand/internal/config"
+	"sand/internal/dataset"
+	"sand/internal/metrics"
+)
+
+func main() {
+	ds, err := dataset.Kinetics400.Miniature(8, 64, 64, 60, 33)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := cluster.NewRemoteStore(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task := &config.Task{
+		Tag:         "ddp",
+		Source:      config.SourceFile,
+		DatasetPath: "/remote/kinetics-mini",
+		Sampling:    config.Sampling{VideosPerBatch: 2, FramesPerVideo: 6, FrameStride: 2, SamplesPerVideo: 1},
+		Stages: []config.Stage{{
+			Name: "resize", Type: config.BranchSingle,
+			Inputs: []string{"frame"}, Outputs: []string{"a0"},
+			Ops: []config.OpSpec{{Op: "resize", Params: map[string]any{"shape": []any{48, 48}}}},
+		}},
+	}
+	const epochs = 3
+	c, err := cluster.New(store, cluster.Options{
+		Nodes: 2, Task: task,
+		ChunkEpochs: 3, TotalEpochs: epochs, Workers: 2, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	setupTraffic := store.BytesServed()
+	steps := 0
+	if err := c.Run(epochs, func(r cluster.StepResult) { steps++ }); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("DDP run: %d nodes, %d epochs, %d node-steps, %d allreduce barriers\n",
+		len(c.Nodes()), epochs, steps, c.Barriers())
+	for _, n := range c.Nodes() {
+		st := n.Service().Stats()
+		fmt.Printf("  node %d: %d batches, %d clips, %d frames decoded, %d objects reused\n",
+			n.ID, n.Batches(), n.Clips(), st.ObjectsDecoded, st.ObjectsReused)
+	}
+	// The headline of Figure 14: the remote store served the dataset
+	// exactly once per node; every epoch after that fed from local cache.
+	naive := setupTraffic * int64(epochs) // re-fetching every epoch
+	fmt.Printf("\nremote traffic: %s total (fetch-once).\n", metrics.Bytes(float64(store.BytesServed())))
+	fmt.Printf("an on-demand pipeline re-reading per epoch would move %s — SAND uses %s of it.\n",
+		metrics.Bytes(float64(naive)), metrics.Pct(float64(store.BytesServed())/float64(naive)))
+}

@@ -1,0 +1,59 @@
+// Hyperparameter search (the Figure 12 scenario): an ASHA search over
+// optimizer settings for all four paper workloads, priced under the three
+// preprocessing pipelines on a simulated 4-GPU node. All trials share one
+// dataset, which is exactly where SAND's cross-job reuse pays off.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sand/internal/gpusim"
+	"sand/internal/metrics"
+	"sand/internal/trainsim"
+)
+
+func main() {
+	asha := trainsim.ASHAParams{
+		Trials: 16, GPUs: 4,
+		MaxEpochs: 16, ReductionFactor: 2, GracePeriod: 2,
+		Seed: 42,
+	}
+	table := metrics.NewTable(
+		"ASHA hyperparameter search, 4xA100, shared dataset (cf. paper Figure 12)",
+		"model", "cpu-baseline", "gpu-baseline", "sand", "speedup-vs-cpu", "speedup-vs-gpu", "sand-util")
+	for _, w := range gpusim.Workloads {
+		times := map[trainsim.Pipeline]*trainsim.SearchResult{}
+		var best *trainsim.ASHAResult
+		for _, p := range []trainsim.Pipeline{trainsim.OnDemandCPU, trainsim.OnDemandGPU, trainsim.SAND} {
+			res, err := trainsim.RunSearch(trainsim.SearchScenario{
+				Base: trainsim.Scenario{
+					Workload: w, Pipeline: p,
+					ItersPerEpoch: 25, ChunkEpochs: 5,
+					Scheduling: true, Seed: 42,
+				},
+				ASHA: asha,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[p] = res
+			best = res.ASHA
+		}
+		cpu := times[trainsim.OnDemandCPU].Timing
+		gpu := times[trainsim.OnDemandGPU].Timing
+		sand := times[trainsim.SAND].Timing
+		table.AddRow(w.Name,
+			metrics.Seconds(cpu.TotalSec), metrics.Seconds(gpu.TotalSec), metrics.Seconds(sand.TotalSec),
+			metrics.Ratio(sand.Speedup(cpu)), metrics.Ratio(sand.Speedup(gpu)),
+			metrics.Pct(sand.GPUTrainUtil))
+		if w.Name == gpusim.Workloads[0].Name {
+			fmt.Printf("search outcome (identical under every pipeline): best=%s lr=%.4f wd=%.6f loss=%.3f, %d trials stopped early, %d trial-epochs\n\n",
+				best.BestTrial.Optimizer, best.BestTrial.LR, best.BestTrial.WeightDecay, best.BestLoss, best.Stopped, best.TrialEpochs)
+		}
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

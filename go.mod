@@ -1,0 +1,3 @@
+module sand
+
+go 1.22

@@ -1,0 +1,624 @@
+// Package augment implements the data-augmentation operator library SAND's
+// materialization engine executes: resize, crop (fixed and random), flips,
+// rotation, color jitter, grayscale, normalization, padding, saturation
+// and temporal inversion.
+//
+// Every operator implements Op, consumes a clip, and produces a new clip,
+// leaving its input untouched — the engine relies on that immutability when
+// it shares intermediate objects between tasks. Operators carry a stable
+// Signature() so the planner can detect when two tasks request identical
+// work (the precondition for merging nodes in the concrete object
+// dependency graph).
+package augment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sand/internal/frame"
+)
+
+// Op is a single augmentation operator.
+type Op interface {
+	// Name returns the operator's registry name (e.g. "resize").
+	Name() string
+	// Signature returns a canonical string identifying the operator and
+	// its parameters. Two ops with equal signatures produce identical
+	// output for identical input and randomness, so their graph nodes may
+	// be merged.
+	Signature() string
+	// Deterministic reports whether the op's output depends only on its
+	// input (true) or also on sampled randomness (false). The planner
+	// shares deterministic outputs freely; stochastic outputs are shared
+	// only through the coordinated-window mechanism.
+	Deterministic() bool
+	// Apply transforms clip, drawing any randomness from rng. rng may be
+	// nil for deterministic ops.
+	Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error)
+}
+
+// Pipeline applies a sequence of ops in order.
+type Pipeline []Op
+
+// Signature returns the concatenated signature of all stages.
+func (p Pipeline) Signature() string {
+	parts := make([]string, len(p))
+	for i, op := range p {
+		parts[i] = op.Signature()
+	}
+	return strings.Join(parts, "|")
+}
+
+// Deterministic reports whether every stage is deterministic.
+func (p Pipeline) Deterministic() bool {
+	for _, op := range p {
+		if !op.Deterministic() {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply runs the pipeline.
+func (p Pipeline) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
+	cur := clip
+	for i, op := range p {
+		next, err := op.Apply(cur, rng)
+		if err != nil {
+			return nil, fmt.Errorf("augment: stage %d (%s): %w", i, op.Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// mapFrames applies fn to every frame, building a new clip.
+func mapFrames(clip *frame.Clip, fn func(*frame.Frame) (*frame.Frame, error)) (*frame.Clip, error) {
+	out := make([]*frame.Frame, clip.Len())
+	for i, f := range clip.Frames {
+		g, err := fn(f)
+		if err != nil {
+			return nil, err
+		}
+		g.Index, g.PTS = f.Index, f.PTS
+		out[i] = g
+	}
+	return frame.NewClip(out)
+}
+
+// Resize scales every frame to W x H.
+type Resize struct {
+	W, H int
+	// Interpolation is "bilinear" (default) or "nearest".
+	Interpolation string
+}
+
+// Name implements Op.
+func (r *Resize) Name() string { return "resize" }
+
+// Signature implements Op.
+func (r *Resize) Signature() string {
+	interp := r.Interpolation
+	if interp == "" {
+		interp = "bilinear"
+	}
+	return fmt.Sprintf("resize(%dx%d,%s)", r.W, r.H, interp)
+}
+
+// Deterministic implements Op.
+func (r *Resize) Deterministic() bool { return true }
+
+// Apply implements Op.
+func (r *Resize) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
+	if r.W <= 0 || r.H <= 0 {
+		return nil, fmt.Errorf("resize: invalid target %dx%d", r.W, r.H)
+	}
+	switch r.Interpolation {
+	case "", "bilinear", "nearest":
+	default:
+		return nil, fmt.Errorf("resize: unknown interpolation %q", r.Interpolation)
+	}
+	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
+		if r.Interpolation == "nearest" {
+			return resizeNearest(f, r.W, r.H), nil
+		}
+		return resizeBilinear(f, r.W, r.H), nil
+	})
+}
+
+func resizeNearest(f *frame.Frame, w, h int) *frame.Frame {
+	out := frame.New(w, h, f.C)
+	for c := 0; c < f.C; c++ {
+		src := f.Plane(c)
+		dst := out.Plane(c)
+		for y := 0; y < h; y++ {
+			sy := y * f.H / h
+			for x := 0; x < w; x++ {
+				sx := x * f.W / w
+				dst[y*w+x] = src[sy*f.W+sx]
+			}
+		}
+	}
+	return out
+}
+
+func resizeBilinear(f *frame.Frame, w, h int) *frame.Frame {
+	out := frame.New(w, h, f.C)
+	// Fixed-point 16.16 source steps with half-pixel centers.
+	const fpShift = 16
+	const fpOne = 1 << fpShift
+	xStep := (f.W << fpShift) / w
+	yStep := (f.H << fpShift) / h
+	for c := 0; c < f.C; c++ {
+		src := f.Plane(c)
+		dst := out.Plane(c)
+		for y := 0; y < h; y++ {
+			syFP := y*yStep + yStep/2 - fpOne/2
+			if syFP < 0 {
+				syFP = 0
+			}
+			sy := syFP >> fpShift
+			fy := syFP & (fpOne - 1)
+			sy1 := sy + 1
+			if sy1 >= f.H {
+				sy1 = f.H - 1
+			}
+			for x := 0; x < w; x++ {
+				sxFP := x*xStep + xStep/2 - fpOne/2
+				if sxFP < 0 {
+					sxFP = 0
+				}
+				sx := sxFP >> fpShift
+				fx := sxFP & (fpOne - 1)
+				sx1 := sx + 1
+				if sx1 >= f.W {
+					sx1 = f.W - 1
+				}
+				p00 := int(src[sy*f.W+sx])
+				p01 := int(src[sy*f.W+sx1])
+				p10 := int(src[sy1*f.W+sx])
+				p11 := int(src[sy1*f.W+sx1])
+				top := p00<<fpShift + (p01-p00)*fx
+				bot := p10<<fpShift + (p11-p10)*fx
+				v := (top<<fpShift + (bot-top)*fy) >> (2 * fpShift)
+				if v < 0 {
+					v = 0
+				} else if v > 255 {
+					v = 255
+				}
+				dst[y*w+x] = byte(v)
+			}
+		}
+	}
+	return out
+}
+
+// Crop extracts a fixed rectangle from every frame.
+type Crop struct {
+	X, Y, W, H int
+}
+
+// Name implements Op.
+func (c *Crop) Name() string { return "crop" }
+
+// Signature implements Op.
+func (c *Crop) Signature() string { return fmt.Sprintf("crop(%d,%d,%dx%d)", c.X, c.Y, c.W, c.H) }
+
+// Deterministic implements Op.
+func (c *Crop) Deterministic() bool { return true }
+
+// Apply implements Op.
+func (c *Crop) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
+	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
+		return f.SubRect(c.X, c.Y, c.W, c.H)
+	})
+}
+
+// CenterCrop extracts a centered W x H rectangle.
+type CenterCrop struct {
+	W, H int
+}
+
+// Name implements Op.
+func (c *CenterCrop) Name() string { return "center_crop" }
+
+// Signature implements Op.
+func (c *CenterCrop) Signature() string { return fmt.Sprintf("center_crop(%dx%d)", c.W, c.H) }
+
+// Deterministic implements Op.
+func (c *CenterCrop) Deterministic() bool { return true }
+
+// Apply implements Op.
+func (c *CenterCrop) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
+	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
+		return f.SubRect((f.W-c.W)/2, (f.H-c.H)/2, c.W, c.H)
+	})
+}
+
+// RandomCrop samples one crop origin per clip (all frames share it, as VDL
+// training requires temporally consistent spatial augmentation).
+type RandomCrop struct {
+	W, H int
+}
+
+// Name implements Op.
+func (c *RandomCrop) Name() string { return "random_crop" }
+
+// Signature implements Op.
+func (c *RandomCrop) Signature() string { return fmt.Sprintf("random_crop(%dx%d)", c.W, c.H) }
+
+// Deterministic implements Op.
+func (c *RandomCrop) Deterministic() bool { return false }
+
+// Apply implements Op.
+func (c *RandomCrop) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("random_crop: nil rng")
+	}
+	w, h, _ := clip.Geometry()
+	if c.W > w || c.H > h {
+		return nil, fmt.Errorf("random_crop: %dx%d exceeds frame %dx%d", c.W, c.H, w, h)
+	}
+	x := rng.Intn(w - c.W + 1)
+	y := rng.Intn(h - c.H + 1)
+	fixed := &Crop{X: x, Y: y, W: c.W, H: c.H}
+	return fixed.Apply(clip, nil)
+}
+
+// HFlip mirrors frames horizontally, either always (Prob >= 1) or with the
+// given probability per clip.
+type HFlip struct {
+	Prob float64
+}
+
+// Name implements Op.
+func (h *HFlip) Name() string { return "hflip" }
+
+// Signature implements Op.
+func (h *HFlip) Signature() string { return fmt.Sprintf("hflip(%.3f)", h.Prob) }
+
+// Deterministic implements Op.
+func (h *HFlip) Deterministic() bool { return h.Prob >= 1 || h.Prob <= 0 }
+
+// Apply implements Op.
+func (h *HFlip) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
+	do := h.Prob >= 1
+	if !h.Deterministic() {
+		if rng == nil {
+			return nil, fmt.Errorf("hflip: nil rng for stochastic flip")
+		}
+		do = rng.Float64() < h.Prob
+	}
+	if !do {
+		return clip.Clone(), nil
+	}
+	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
+		g := frame.New(f.W, f.H, f.C)
+		for c := 0; c < f.C; c++ {
+			src := f.Plane(c)
+			dst := g.Plane(c)
+			for y := 0; y < f.H; y++ {
+				for x := 0; x < f.W; x++ {
+					dst[y*f.W+x] = src[y*f.W+(f.W-1-x)]
+				}
+			}
+		}
+		return g, nil
+	})
+}
+
+// VFlip mirrors frames vertically with probability Prob.
+type VFlip struct {
+	Prob float64
+}
+
+// Name implements Op.
+func (v *VFlip) Name() string { return "vflip" }
+
+// Signature implements Op.
+func (v *VFlip) Signature() string { return fmt.Sprintf("vflip(%.3f)", v.Prob) }
+
+// Deterministic implements Op.
+func (v *VFlip) Deterministic() bool { return v.Prob >= 1 || v.Prob <= 0 }
+
+// Apply implements Op.
+func (v *VFlip) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
+	do := v.Prob >= 1
+	if !v.Deterministic() {
+		if rng == nil {
+			return nil, fmt.Errorf("vflip: nil rng for stochastic flip")
+		}
+		do = rng.Float64() < v.Prob
+	}
+	if !do {
+		return clip.Clone(), nil
+	}
+	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
+		g := frame.New(f.W, f.H, f.C)
+		for c := 0; c < f.C; c++ {
+			src := f.Plane(c)
+			dst := g.Plane(c)
+			for y := 0; y < f.H; y++ {
+				copy(dst[y*f.W:(y+1)*f.W], src[(f.H-1-y)*f.W:(f.H-y)*f.W])
+			}
+		}
+		return g, nil
+	})
+}
+
+// Rotate90 rotates every frame by Turns quarter-turns clockwise.
+type Rotate90 struct {
+	Turns int
+}
+
+// Name implements Op.
+func (r *Rotate90) Name() string { return "rotate90" }
+
+// Signature implements Op.
+func (r *Rotate90) Signature() string { return fmt.Sprintf("rotate90(%d)", ((r.Turns%4)+4)%4) }
+
+// Deterministic implements Op.
+func (r *Rotate90) Deterministic() bool { return true }
+
+// Apply implements Op.
+func (r *Rotate90) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
+	turns := ((r.Turns % 4) + 4) % 4
+	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
+		g := f
+		for t := 0; t < turns; t++ {
+			g = rotateCW(g)
+		}
+		if g == f {
+			g = f.Clone()
+		}
+		return g, nil
+	})
+}
+
+func rotateCW(f *frame.Frame) *frame.Frame {
+	g := frame.New(f.H, f.W, f.C)
+	for c := 0; c < f.C; c++ {
+		src := f.Plane(c)
+		dst := g.Plane(c)
+		for y := 0; y < f.H; y++ {
+			for x := 0; x < f.W; x++ {
+				// (x, y) -> (H-1-y, x) in the rotated frame of width f.H.
+				dst[x*g.W+(f.H-1-y)] = src[y*f.W+x]
+			}
+		}
+	}
+	return g
+}
+
+// ColorJitter perturbs brightness and contrast. Brightness/Contrast give
+// the maximum relative perturbation (e.g. 0.2 means ±20%), sampled once per
+// clip so all frames shift together.
+type ColorJitter struct {
+	Brightness float64
+	Contrast   float64
+}
+
+// Name implements Op.
+func (j *ColorJitter) Name() string { return "color_jitter" }
+
+// Signature implements Op.
+func (j *ColorJitter) Signature() string {
+	return fmt.Sprintf("color_jitter(%.3f,%.3f)", j.Brightness, j.Contrast)
+}
+
+// Deterministic implements Op.
+func (j *ColorJitter) Deterministic() bool { return j.Brightness == 0 && j.Contrast == 0 }
+
+// Apply implements Op.
+func (j *ColorJitter) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
+	if j.Deterministic() {
+		return clip.Clone(), nil
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("color_jitter: nil rng")
+	}
+	bright := 1 + (rng.Float64()*2-1)*j.Brightness
+	contrast := 1 + (rng.Float64()*2-1)*j.Contrast
+	lut := make([]byte, 256)
+	for i := range lut {
+		v := (float64(i)-128)*contrast + 128
+		v *= bright
+		if v < 0 {
+			v = 0
+		} else if v > 255 {
+			v = 255
+		}
+		lut[i] = byte(v)
+	}
+	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
+		g := frame.New(f.W, f.H, f.C)
+		for i, v := range f.Pix {
+			g.Pix[i] = lut[v]
+		}
+		return g, nil
+	})
+}
+
+// Grayscale averages channels into a single-channel clip.
+type Grayscale struct{}
+
+// Name implements Op.
+func (g *Grayscale) Name() string { return "grayscale" }
+
+// Signature implements Op.
+func (g *Grayscale) Signature() string { return "grayscale()" }
+
+// Deterministic implements Op.
+func (g *Grayscale) Deterministic() bool { return true }
+
+// Apply implements Op.
+func (g *Grayscale) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
+	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
+		out := frame.New(f.W, f.H, 1)
+		n := f.W * f.H
+		for i := 0; i < n; i++ {
+			sum := 0
+			for c := 0; c < f.C; c++ {
+				sum += int(f.Pix[c*n+i])
+			}
+			out.Pix[i] = byte(sum / f.C)
+		}
+		return out, nil
+	})
+}
+
+// Normalize is a placeholder for float normalization in real frameworks;
+// on uint8 data it recenters each channel to the given mean (0-255 scale).
+type Normalize struct {
+	Mean int
+}
+
+// Name implements Op.
+func (n *Normalize) Name() string { return "normalize" }
+
+// Signature implements Op.
+func (n *Normalize) Signature() string { return fmt.Sprintf("normalize(%d)", n.Mean) }
+
+// Deterministic implements Op.
+func (n *Normalize) Deterministic() bool { return true }
+
+// Apply implements Op.
+func (n *Normalize) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
+	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
+		g := frame.New(f.W, f.H, f.C)
+		for c := 0; c < f.C; c++ {
+			src := f.Plane(c)
+			dst := g.Plane(c)
+			var sum int64
+			for _, v := range src {
+				sum += int64(v)
+			}
+			mean := int(sum / int64(len(src)))
+			shift := n.Mean - mean
+			for i, v := range src {
+				w := int(v) + shift
+				if w < 0 {
+					w = 0
+				} else if w > 255 {
+					w = 255
+				}
+				dst[i] = byte(w)
+			}
+		}
+		return g, nil
+	})
+}
+
+// InvSample reverses the temporal order of the clip — the "inv_sample"
+// option from the paper's Figure 9 conditional-branch example.
+type InvSample struct{}
+
+// Name implements Op.
+func (s *InvSample) Name() string { return "inv_sample" }
+
+// Signature implements Op.
+func (s *InvSample) Signature() string { return "inv_sample()" }
+
+// Deterministic implements Op.
+func (s *InvSample) Deterministic() bool { return true }
+
+// Apply implements Op.
+func (s *InvSample) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
+	out := make([]*frame.Frame, clip.Len())
+	for i, f := range clip.Frames {
+		out[clip.Len()-1-i] = f.Clone()
+	}
+	return frame.NewClip(out)
+}
+
+// Pad adds a constant border around every frame (common before random
+// crops, as in PyTorch's RandomCrop(padding=...)).
+type Pad struct {
+	// Left, Top, Right, Bottom are border widths in pixels.
+	Left, Top, Right, Bottom int
+	// Value fills the border.
+	Value byte
+}
+
+// Name implements Op.
+func (p *Pad) Name() string { return "pad" }
+
+// Signature implements Op.
+func (p *Pad) Signature() string {
+	return fmt.Sprintf("pad(%d,%d,%d,%d,v%d)", p.Left, p.Top, p.Right, p.Bottom, p.Value)
+}
+
+// Deterministic implements Op.
+func (p *Pad) Deterministic() bool { return true }
+
+// Apply implements Op.
+func (p *Pad) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
+	if p.Left < 0 || p.Top < 0 || p.Right < 0 || p.Bottom < 0 {
+		return nil, fmt.Errorf("pad: negative border")
+	}
+	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
+		w := f.W + p.Left + p.Right
+		h := f.H + p.Top + p.Bottom
+		g := frame.New(w, h, f.C)
+		if p.Value != 0 {
+			for i := range g.Pix {
+				g.Pix[i] = p.Value
+			}
+		}
+		for c := 0; c < f.C; c++ {
+			src := f.Plane(c)
+			dst := g.Plane(c)
+			for y := 0; y < f.H; y++ {
+				copy(dst[(y+p.Top)*w+p.Left:(y+p.Top)*w+p.Left+f.W], src[y*f.W:(y+1)*f.W])
+			}
+		}
+		return g, nil
+	})
+}
+
+// Saturation scales chroma relative to the per-pixel channel mean:
+// Factor 0 produces grayscale, 1 is identity, >1 boosts color. Requires a
+// 3-channel clip.
+type Saturation struct {
+	Factor float64
+}
+
+// Name implements Op.
+func (s *Saturation) Name() string { return "saturation" }
+
+// Signature implements Op.
+func (s *Saturation) Signature() string { return fmt.Sprintf("saturation(%.3f)", s.Factor) }
+
+// Deterministic implements Op.
+func (s *Saturation) Deterministic() bool { return true }
+
+// Apply implements Op.
+func (s *Saturation) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
+	if s.Factor < 0 {
+		return nil, fmt.Errorf("saturation: negative factor")
+	}
+	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
+		if f.C != 3 {
+			return nil, fmt.Errorf("saturation: need 3 channels, got %d", f.C)
+		}
+		g := frame.New(f.W, f.H, 3)
+		n := f.W * f.H
+		r, gr, b := f.Plane(0), f.Plane(1), f.Plane(2)
+		or, og, ob := g.Plane(0), g.Plane(1), g.Plane(2)
+		for i := 0; i < n; i++ {
+			mean := (float64(r[i]) + float64(gr[i]) + float64(b[i])) / 3
+			mix := func(v byte) byte {
+				x := mean + (float64(v)-mean)*s.Factor
+				if x < 0 {
+					x = 0
+				} else if x > 255 {
+					x = 255
+				}
+				return byte(x)
+			}
+			or[i], og[i], ob[i] = mix(r[i]), mix(gr[i]), mix(b[i])
+		}
+		return g, nil
+	})
+}

@@ -1,0 +1,189 @@
+package augment
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Params carries the parsed parameters for one op from a task config. The
+// values are what the YAML-subset parser produces: string, int, float64,
+// bool, []any, or nested map[string]any.
+type Params map[string]any
+
+// Int extracts an integer parameter, accepting int or float64 encodings.
+func (p Params) Int(key string) (int, bool) {
+	switch v := p[key].(type) {
+	case int:
+		return v, true
+	case float64:
+		return int(v), true
+	}
+	return 0, false
+}
+
+// Float extracts a float parameter.
+func (p Params) Float(key string) (float64, bool) {
+	switch v := p[key].(type) {
+	case float64:
+		return v, true
+	case int:
+		return float64(v), true
+	}
+	return 0, false
+}
+
+// IntPair extracts a two-element integer list parameter such as
+// "shape: [256, 320]".
+func (p Params) IntPair(key string) (a, b int, ok bool) {
+	list, isList := p[key].([]any)
+	if !isList || len(list) != 2 {
+		return 0, 0, false
+	}
+	toInt := func(v any) (int, bool) {
+		switch x := v.(type) {
+		case int:
+			return x, true
+		case float64:
+			return int(x), true
+		}
+		return 0, false
+	}
+	a, okA := toInt(list[0])
+	b, okB := toInt(list[1])
+	return a, b, okA && okB
+}
+
+// Factory builds an Op from config parameters.
+type Factory func(Params) (Op, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register installs a factory under name. Registering a duplicate name
+// panics: it is a programming error, caught at init time.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("augment: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// Build constructs the op registered under name.
+func Build(name string, p Params) (Op, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("augment: unknown op %q (known: %v)", name, Names())
+	}
+	return f(p)
+}
+
+// Names lists all registered op names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("resize", func(p Params) (Op, error) {
+		// Paper config uses "shape: [H, W]".
+		h, w, ok := p.IntPair("shape")
+		if !ok {
+			return nil, fmt.Errorf("resize: missing shape: [h, w]")
+		}
+		interp := ""
+		if list, isList := p["interpolation"].([]any); isList && len(list) > 0 {
+			if s, isStr := list[0].(string); isStr {
+				interp = s
+			}
+		} else if s, isStr := p["interpolation"].(string); isStr {
+			interp = s
+		}
+		return &Resize{W: w, H: h, Interpolation: interp}, nil
+	})
+	Register("crop", func(p Params) (Op, error) {
+		h, w, ok := p.IntPair("shape")
+		if !ok {
+			return nil, fmt.Errorf("crop: missing shape: [h, w]")
+		}
+		x, _ := p.Int("x")
+		y, _ := p.Int("y")
+		return &Crop{X: x, Y: y, W: w, H: h}, nil
+	})
+	Register("center_crop", func(p Params) (Op, error) {
+		h, w, ok := p.IntPair("shape")
+		if !ok {
+			return nil, fmt.Errorf("center_crop: missing shape: [h, w]")
+		}
+		return &CenterCrop{W: w, H: h}, nil
+	})
+	Register("random_crop", func(p Params) (Op, error) {
+		h, w, ok := p.IntPair("shape")
+		if !ok {
+			return nil, fmt.Errorf("random_crop: missing shape: [h, w]")
+		}
+		return &RandomCrop{W: w, H: h}, nil
+	})
+	Register("flip", func(p Params) (Op, error) {
+		prob, ok := p.Float("flip_prob")
+		if !ok {
+			prob = 0.5
+		}
+		return &HFlip{Prob: prob}, nil
+	})
+	Register("vflip", func(p Params) (Op, error) {
+		prob, ok := p.Float("flip_prob")
+		if !ok {
+			prob = 0.5
+		}
+		return &VFlip{Prob: prob}, nil
+	})
+	Register("rotate90", func(p Params) (Op, error) {
+		turns, _ := p.Int("turns")
+		return &Rotate90{Turns: turns}, nil
+	})
+	Register("color_jitter", func(p Params) (Op, error) {
+		b, _ := p.Float("brightness")
+		c, _ := p.Float("contrast")
+		return &ColorJitter{Brightness: b, Contrast: c}, nil
+	})
+	Register("grayscale", func(Params) (Op, error) { return &Grayscale{}, nil })
+	Register("normalize", func(p Params) (Op, error) {
+		mean, ok := p.Int("mean")
+		if !ok {
+			mean = 128
+		}
+		return &Normalize{Mean: mean}, nil
+	})
+	Register("inv_sample", func(Params) (Op, error) { return &InvSample{}, nil })
+	Register("pad", func(p Params) (Op, error) {
+		l, _ := p.Int("left")
+		t, _ := p.Int("top")
+		r, _ := p.Int("right")
+		b, _ := p.Int("bottom")
+		if all, ok := p.Int("all"); ok {
+			l, t, r, b = all, all, all, all
+		}
+		v, _ := p.Int("value")
+		return &Pad{Left: l, Top: t, Right: r, Bottom: b, Value: byte(v)}, nil
+	})
+	Register("saturation", func(p Params) (Op, error) {
+		f, ok := p.Float("factor")
+		if !ok {
+			f = 1
+		}
+		return &Saturation{Factor: f}, nil
+	})
+}

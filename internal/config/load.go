@@ -1,0 +1,194 @@
+package config
+
+import (
+	"fmt"
+	"os"
+)
+
+// LoadTask parses and validates a task configuration document.
+func LoadTask(src string) (*Task, error) {
+	doc, err := ParseYAML(src)
+	if err != nil {
+		return nil, err
+	}
+	root, ok := doc.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("config: document root must be a map")
+	}
+	ds, ok := root["dataset"].(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("config: missing 'dataset' section")
+	}
+	t := &Task{}
+	t.Tag, _ = ds["tag"].(string)
+	if src, ok := ds["input_source"].(string); ok {
+		t.Source = InputSource(src)
+	}
+	t.DatasetPath, _ = ds["video_dataset_path"].(string)
+
+	if sm, ok := ds["sampling"].(map[string]any); ok {
+		t.Sampling.VideosPerBatch = intField(sm, "videos_per_batch")
+		t.Sampling.FramesPerVideo = intField(sm, "frames_per_video")
+		t.Sampling.FrameStride = intField(sm, "frame_stride")
+		t.Sampling.SamplesPerVideo = intField(sm, "samples_per_video")
+		if t.Sampling.SamplesPerVideo == 0 {
+			t.Sampling.SamplesPerVideo = 1
+		}
+	}
+
+	if augAny, present := ds["augmentation"]; present {
+		augList, ok := augAny.([]any)
+		if !ok {
+			return nil, fmt.Errorf("config: 'augmentation' must be a list")
+		}
+		for i, item := range augList {
+			sm, ok := item.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("config: augmentation stage %d must be a map", i)
+			}
+			stage, err := parseStage(sm, i)
+			if err != nil {
+				return nil, err
+			}
+			t.Stages = append(t.Stages, stage)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// LoadTaskFile reads and parses a task configuration from disk.
+func LoadTaskFile(path string) (*Task, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	t, err := LoadTask(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+func intField(m map[string]any, key string) int {
+	switch v := m[key].(type) {
+	case int:
+		return v
+	case float64:
+		return int(v)
+	}
+	return 0
+}
+
+func parseStage(m map[string]any, idx int) (Stage, error) {
+	st := Stage{}
+	st.Name, _ = m["name"].(string)
+	if bt, ok := m["branch_type"].(string); ok {
+		st.Type = BranchType(bt)
+	}
+	var err error
+	if st.Inputs, err = stringList(m["inputs"]); err != nil {
+		return st, fmt.Errorf("config: stage %d (%s): inputs: %w", idx, st.Name, err)
+	}
+	if st.Outputs, err = stringList(m["outputs"]); err != nil {
+		return st, fmt.Errorf("config: stage %d (%s): outputs: %w", idx, st.Name, err)
+	}
+	if cfg, present := m["config"]; present {
+		if st.Ops, err = parseOps(cfg); err != nil {
+			return st, fmt.Errorf("config: stage %d (%s): %w", idx, st.Name, err)
+		}
+	}
+	if brAny, present := m["branches"]; present {
+		brList, ok := brAny.([]any)
+		if !ok {
+			return st, fmt.Errorf("config: stage %d (%s): branches must be a list", idx, st.Name)
+		}
+		for bi, b := range brList {
+			bm, ok := b.(map[string]any)
+			if !ok {
+				return st, fmt.Errorf("config: stage %d branch %d must be a map", idx, bi)
+			}
+			sub := SubBranch{}
+			sub.Condition, _ = bm["condition"].(string)
+			// Tolerate the paper's typo'd key "conditon" from Figure 9.
+			if sub.Condition == "" {
+				sub.Condition, _ = bm["conditon"].(string)
+			}
+			switch p := bm["prob"].(type) {
+			case float64:
+				sub.Prob = p
+			case int:
+				sub.Prob = float64(p)
+			}
+			if cfg, present := bm["config"]; present && cfg != nil {
+				if sub.Ops, err = parseOps(cfg); err != nil {
+					return st, fmt.Errorf("config: stage %d branch %d: %w", idx, bi, err)
+				}
+			}
+			st.Branches = append(st.Branches, sub)
+		}
+	}
+	return st, nil
+}
+
+// parseOps converts a config op list. Each element is either
+// a map {opname: {params...}} or {opname: scalar} (e.g. "inv_sample: true").
+func parseOps(v any) ([]OpSpec, error) {
+	if v == nil {
+		return nil, nil
+	}
+	list, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("op config must be a list, got %T", v)
+	}
+	var ops []OpSpec
+	for i, item := range list {
+		m, ok := item.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("op %d must be a map, got %T", i, item)
+		}
+		if len(m) != 1 {
+			return nil, fmt.Errorf("op %d must have exactly one key, got %d", i, len(m))
+		}
+		for name, params := range m {
+			spec := OpSpec{Op: name}
+			switch p := params.(type) {
+			case map[string]any:
+				spec.Params = p
+			case nil:
+				spec.Params = map[string]any{}
+			case bool:
+				// "inv_sample: true" enables a parameterless op.
+				if !p {
+					continue
+				}
+				spec.Params = map[string]any{}
+			default:
+				return nil, fmt.Errorf("op %d (%s): params must be a map, got %T", i, name, params)
+			}
+			ops = append(ops, spec)
+		}
+	}
+	return ops, nil
+}
+
+func stringList(v any) ([]string, error) {
+	list, ok := v.([]any)
+	if !ok {
+		if s, isStr := v.(string); isStr {
+			return []string{s}, nil
+		}
+		return nil, fmt.Errorf("expected a list of strings, got %T", v)
+	}
+	out := make([]string, len(list))
+	for i, item := range list {
+		s, ok := item.(string)
+		if !ok {
+			return nil, fmt.Errorf("element %d is %T, want string", i, item)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,290 @@
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BranchType enumerates the five control-flow patterns the augmentation
+// section of a task config may use (§5.1 of the paper).
+type BranchType string
+
+const (
+	// BranchSingle applies a series of augmentations in sequence.
+	BranchSingle BranchType = "single"
+	// BranchConditional picks a branch based on a condition over the
+	// training state (e.g. "iteration > 10000").
+	BranchConditional BranchType = "conditional"
+	// BranchRandom picks a branch probabilistically.
+	BranchRandom BranchType = "random"
+	// BranchMulti splits the data flow into multiple parallel branches.
+	BranchMulti BranchType = "multi"
+	// BranchMerge joins parallel branches into one output stream.
+	BranchMerge BranchType = "merge"
+)
+
+func (b BranchType) valid() bool {
+	switch b {
+	case BranchSingle, BranchConditional, BranchRandom, BranchMulti, BranchMerge:
+		return true
+	}
+	return false
+}
+
+// OpSpec is one augmentation step: the registered op name and its params.
+type OpSpec struct {
+	Op     string
+	Params map[string]any
+}
+
+// Signature returns a canonical rendering for plan merging.
+func (o OpSpec) Signature() string {
+	return fmt.Sprintf("%s%s", o.Op, canonicalParams(o.Params))
+}
+
+func canonicalParams(m map[string]any) string {
+	if len(m) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Simple insertion sort: tiny maps, avoids importing sort here.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%v", k, m[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// SubBranch is one alternative inside a conditional or random stage, or
+// one parallel path inside a multi stage.
+type SubBranch struct {
+	// Condition is set for conditional stages: an expression such as
+	// "iteration > 10000" or the literal "else".
+	Condition string
+	// Prob is set for random stages.
+	Prob float64
+	// Ops is the op sequence of this alternative; empty means pass-through
+	// ("config: None").
+	Ops []OpSpec
+}
+
+// Stage is one named element of the augmentation list.
+type Stage struct {
+	Name    string
+	Type    BranchType
+	Inputs  []string
+	Outputs []string
+	// Ops is used by single stages.
+	Ops []OpSpec
+	// Branches is used by conditional/random/multi stages.
+	Branches []SubBranch
+}
+
+// Sampling mirrors the "sampling" config section: the frame-selection
+// policy the planner coordinates across tasks.
+type Sampling struct {
+	VideosPerBatch  int
+	FramesPerVideo  int
+	FrameStride     int
+	SamplesPerVideo int
+}
+
+// InputSource identifies where the raw videos come from.
+type InputSource string
+
+const (
+	// SourceFile reads videos from a dataset directory.
+	SourceFile InputSource = "file"
+	// SourceStreaming ingests videos from a live stream.
+	SourceStreaming InputSource = "streaming"
+)
+
+// Task is a fully parsed task configuration.
+type Task struct {
+	Tag         string
+	Source      InputSource
+	DatasetPath string
+	Sampling    Sampling
+	Stages      []Stage
+}
+
+// Validate checks structural invariants: positive sampling parameters,
+// known branch types, wired stage inputs/outputs, probabilities summing
+// to 1 for random stages, and a terminal conditional "else".
+func (t *Task) Validate() error {
+	if t.Tag == "" {
+		return fmt.Errorf("config: task missing tag")
+	}
+	if t.Source != SourceFile && t.Source != SourceStreaming {
+		return fmt.Errorf("config: task %s: unknown input_source %q", t.Tag, t.Source)
+	}
+	if t.DatasetPath == "" {
+		return fmt.Errorf("config: task %s: missing video_dataset_path", t.Tag)
+	}
+	s := t.Sampling
+	if s.VideosPerBatch <= 0 || s.FramesPerVideo <= 0 || s.FrameStride <= 0 || s.SamplesPerVideo <= 0 {
+		return fmt.Errorf("config: task %s: sampling parameters must be positive, got %+v", t.Tag, s)
+	}
+	produced := map[string]bool{"frame": true, "video": true}
+	for i, st := range t.Stages {
+		if !st.Type.valid() {
+			return fmt.Errorf("config: task %s: stage %d (%s): unknown branch_type %q", t.Tag, i, st.Name, st.Type)
+		}
+		if len(st.Inputs) == 0 || len(st.Outputs) == 0 {
+			return fmt.Errorf("config: task %s: stage %d (%s): inputs and outputs required", t.Tag, i, st.Name)
+		}
+		for _, in := range st.Inputs {
+			if !produced[in] {
+				return fmt.Errorf("config: task %s: stage %d (%s): input %q not produced by any earlier stage", t.Tag, i, st.Name, in)
+			}
+		}
+		switch st.Type {
+		case BranchSingle:
+			if len(st.Ops) == 0 {
+				return fmt.Errorf("config: task %s: stage %d (%s): single stage needs ops", t.Tag, i, st.Name)
+			}
+			if len(st.Inputs) != 1 || len(st.Outputs) != 1 {
+				return fmt.Errorf("config: task %s: stage %d (%s): single stage takes one input and one output", t.Tag, i, st.Name)
+			}
+		case BranchConditional:
+			if len(st.Branches) == 0 {
+				return fmt.Errorf("config: task %s: stage %d (%s): conditional stage needs branches", t.Tag, i, st.Name)
+			}
+			hasElse := false
+			for bi, b := range st.Branches {
+				if b.Condition == "" {
+					return fmt.Errorf("config: task %s: stage %d branch %d: missing condition", t.Tag, i, bi)
+				}
+				if b.Condition == "else" {
+					if bi != len(st.Branches)-1 {
+						return fmt.Errorf("config: task %s: stage %d: 'else' must be the last branch", t.Tag, i)
+					}
+					hasElse = true
+				} else if _, err := ParseCondition(b.Condition); err != nil {
+					return fmt.Errorf("config: task %s: stage %d branch %d: %w", t.Tag, i, bi, err)
+				}
+			}
+			if !hasElse {
+				return fmt.Errorf("config: task %s: stage %d (%s): conditional stage needs a final 'else' branch", t.Tag, i, st.Name)
+			}
+		case BranchRandom:
+			if len(st.Branches) == 0 {
+				return fmt.Errorf("config: task %s: stage %d (%s): random stage needs branches", t.Tag, i, st.Name)
+			}
+			var sum float64
+			for bi, b := range st.Branches {
+				if b.Prob < 0 || b.Prob > 1 {
+					return fmt.Errorf("config: task %s: stage %d branch %d: prob %v out of [0,1]", t.Tag, i, bi, b.Prob)
+				}
+				sum += b.Prob
+			}
+			if sum < 0.999 || sum > 1.001 {
+				return fmt.Errorf("config: task %s: stage %d (%s): branch probabilities sum to %v, want 1", t.Tag, i, st.Name, sum)
+			}
+		case BranchMulti:
+			if len(st.Outputs) != len(st.Branches) {
+				return fmt.Errorf("config: task %s: stage %d (%s): multi stage needs one output per branch (%d outputs, %d branches)",
+					t.Tag, i, st.Name, len(st.Outputs), len(st.Branches))
+			}
+		case BranchMerge:
+			if len(st.Inputs) < 2 || len(st.Outputs) != 1 {
+				return fmt.Errorf("config: task %s: stage %d (%s): merge stage joins >=2 inputs into one output", t.Tag, i, st.Name)
+			}
+		}
+		for _, out := range st.Outputs {
+			if produced[out] {
+				return fmt.Errorf("config: task %s: stage %d (%s): output %q already produced", t.Tag, i, st.Name, out)
+			}
+			produced[out] = true
+		}
+	}
+	return nil
+}
+
+// FinalOutput returns the name of the last stage's (first) output, which
+// is the view the training batch is built from; "frame" when there are no
+// augmentation stages.
+func (t *Task) FinalOutput() string {
+	if len(t.Stages) == 0 {
+		return "frame"
+	}
+	return t.Stages[len(t.Stages)-1].Outputs[0]
+}
+
+// Condition is a parsed conditional-branch predicate over training state.
+type Condition struct {
+	Variable string // "iteration" or "epoch"
+	Op       string // one of < <= > >= == !=
+	Value    int
+}
+
+// TrainState is the runtime state conditions are evaluated against.
+type TrainState struct {
+	Epoch     int
+	Iteration int
+}
+
+// ParseCondition parses expressions like "iteration > 10000".
+func ParseCondition(s string) (Condition, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 3 {
+		return Condition{}, fmt.Errorf("config: condition %q must be '<var> <op> <int>'", s)
+	}
+	c := Condition{Variable: fields[0], Op: fields[1]}
+	switch c.Variable {
+	case "iteration", "epoch":
+	default:
+		return Condition{}, fmt.Errorf("config: condition %q: unknown variable %q", s, c.Variable)
+	}
+	switch c.Op {
+	case "<", "<=", ">", ">=", "==", "!=":
+	default:
+		return Condition{}, fmt.Errorf("config: condition %q: unknown operator %q", s, c.Op)
+	}
+	v, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return Condition{}, fmt.Errorf("config: condition %q: bad literal: %w", s, err)
+	}
+	c.Value = v
+	return c, nil
+}
+
+// Eval evaluates the condition against state.
+func (c Condition) Eval(st TrainState) bool {
+	var lhs int
+	switch c.Variable {
+	case "iteration":
+		lhs = st.Iteration
+	case "epoch":
+		lhs = st.Epoch
+	}
+	switch c.Op {
+	case "<":
+		return lhs < c.Value
+	case "<=":
+		return lhs <= c.Value
+	case ">":
+		return lhs > c.Value
+	case ">=":
+		return lhs >= c.Value
+	case "==":
+		return lhs == c.Value
+	case "!=":
+		return lhs != c.Value
+	}
+	return false
+}

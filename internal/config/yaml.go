@@ -1,0 +1,369 @@
+// Package config parses SAND task configuration files (Figure 9 of the
+// paper) and compiles them into the typed model the planner consumes.
+//
+// The module is offline and stdlib-only, so this file implements a small
+// YAML-subset parser sufficient for SAND configs: nested block maps and
+// lists by indentation, "- " sequence items, inline flow lists
+// ("[256, 320]"), quoted and bare scalars, comments, and the scalar types
+// string / int / float / bool / null (None and ~ included). Anchors,
+// aliases, multi-line strings and flow maps are intentionally unsupported
+// and produce errors rather than silent misparses.
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type yamlLine struct {
+	num    int // 1-based source line number
+	indent int
+	text   string // content with indentation stripped
+}
+
+// ParseYAML parses a YAML-subset document into map[string]any / []any /
+// scalar values.
+func ParseYAML(src string) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		// Strip comments, but not inside quotes.
+		text := stripComment(raw)
+		trimmed := strings.TrimRight(text, " \t")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(trimmed) && trimmed[indent] == ' ' {
+			indent++
+		}
+		if indent < len(trimmed) && trimmed[indent] == '\t' {
+			return nil, fmt.Errorf("config: line %d: tabs are not allowed in indentation", i+1)
+		}
+		lines = append(lines, yamlLine{num: i + 1, indent: indent, text: strings.TrimSpace(trimmed)})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("config: empty document")
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseBlock(0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, fmt.Errorf("config: line %d: unexpected content %q (bad indentation?)", p.lines[p.pos].num, p.lines[p.pos].text)
+	}
+	return v, nil
+}
+
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble {
+				// YAML requires '#' to be preceded by space/startofline.
+				if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+					return s[:i]
+				}
+			}
+		}
+	}
+	return s
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseBlock parses the maximal block at exactly the given indent,
+// starting at p.pos. minIndent guards that we only consume lines indented
+// at least that much.
+func (p *yamlParser) parseBlock(minIndent, indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, fmt.Errorf("config: unexpected end of document")
+	}
+	first := p.lines[p.pos]
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.parseList(indent)
+	}
+	// A block consisting of one non-key line is a wrapped scalar value
+	// ("key:" followed by an indented bare scalar on the next line).
+	if _, _, err := splitKey(first.text, first.num); err != nil {
+		next := p.pos + 1
+		if next >= len(p.lines) || p.lines[next].indent < indent {
+			p.pos++
+			return parseScalar(first.text, first.num)
+		}
+		return nil, err
+	}
+	return p.parseMap(indent)
+}
+
+func (p *yamlParser) parseMap(indent int) (map[string]any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, fmt.Errorf("config: line %d: unexpected indent", ln.num)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			break // a sibling list at the same indent ends the map
+		}
+		key, rest, err := splitKey(ln.text, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("config: line %d: duplicate key %q", ln.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalar(rest, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// Value is a nested block (or empty -> nil).
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(indent+1, p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// A list may be indented at the same level as its key.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent == indent &&
+			(strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-") {
+			v, err := p.parseList(indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		m[key] = nil
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("config: empty map block")
+	}
+	return m, nil
+}
+
+func (p *yamlParser) parseList(indent int) ([]any, error) {
+	var list []any
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent || (!strings.HasPrefix(ln.text, "- ") && ln.text != "-") {
+			break
+		}
+		p.pos++
+		item := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if item == "" {
+			// Block item on following lines.
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				v, err := p.parseBlock(indent+1, p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, v)
+			} else {
+				list = append(list, nil)
+			}
+			continue
+		}
+		// "- key: value" opens an inline map whose further keys are
+		// indented past the dash.
+		if key, rest, err := splitKey(item, ln.num); err == nil {
+			m := map[string]any{}
+			if rest != "" {
+				v, serr := parseScalar(rest, ln.num)
+				if serr != nil {
+					return nil, serr
+				}
+				m[key] = v
+			} else if p.pos < len(p.lines) && p.lines[p.pos].indent > indent+2 {
+				v, berr := p.parseBlock(indent+1, p.lines[p.pos].indent)
+				if berr != nil {
+					return nil, berr
+				}
+				m[key] = v
+			} else {
+				m[key] = nil
+			}
+			// Continuation keys of the same inline map sit at indent+2.
+			for p.pos < len(p.lines) && p.lines[p.pos].indent == indent+2 &&
+				!strings.HasPrefix(p.lines[p.pos].text, "- ") {
+				sub, err := p.parseMap(indent + 2)
+				if err != nil {
+					return nil, err
+				}
+				for k, v := range sub {
+					if _, dup := m[k]; dup {
+						return nil, fmt.Errorf("config: duplicate key %q in list item", k)
+					}
+					m[k] = v
+				}
+			}
+			list = append(list, m)
+			continue
+		}
+		v, err := parseScalar(item, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, v)
+	}
+	if len(list) == 0 {
+		return nil, fmt.Errorf("config: empty list block")
+	}
+	return list, nil
+}
+
+// splitKey splits "key: rest". The key may be bare or quoted.
+func splitKey(s string, line int) (key, rest string, err error) {
+	var i int
+	if len(s) > 0 && (s[0] == '"' || s[0] == '\'') {
+		q := s[0]
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return "", "", fmt.Errorf("config: line %d: unterminated quoted key", line)
+		}
+		key = s[1 : 1+end]
+		i = end + 2
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		if i >= len(s) || s[i] != ':' {
+			return "", "", fmt.Errorf("config: line %d: expected ':' after quoted key", line)
+		}
+	} else {
+		i = strings.IndexByte(s, ':')
+		if i < 0 {
+			return "", "", fmt.Errorf("config: line %d: expected 'key: value', got %q", line, s)
+		}
+		key = strings.TrimSpace(s[:i])
+		if key == "" {
+			return "", "", fmt.Errorf("config: line %d: empty key", line)
+		}
+		// Reject things like URLs masquerading as keys ("http://x").
+		if strings.ContainsAny(key, "[]{},") {
+			return "", "", fmt.Errorf("config: line %d: invalid key %q", line, key)
+		}
+	}
+	rest = strings.TrimSpace(s[i+1:])
+	return key, rest, nil
+}
+
+// parseScalar interprets a scalar or inline flow list.
+func parseScalar(s string, line int) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, nil
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("config: line %d: unterminated flow list %q", line, s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		parts, err := splitFlow(inner, line)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, len(parts))
+		for i, part := range parts {
+			v, err := parseScalar(part, line)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case strings.HasPrefix(s, "{"):
+		return nil, fmt.Errorf("config: line %d: flow maps are not supported", line)
+	case strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*"):
+		return nil, fmt.Errorf("config: line %d: anchors/aliases are not supported", line)
+	case strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">"):
+		return nil, fmt.Errorf("config: line %d: block scalars are not supported", line)
+	}
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') {
+		if s[len(s)-1] != s[0] {
+			return nil, fmt.Errorf("config: line %d: unterminated string %q", line, s)
+		}
+		return s[1 : len(s)-1], nil
+	}
+	switch s {
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	case "null", "Null", "None", "~":
+		return nil, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return int(i), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// splitFlow splits a flow-list body on commas, honoring quotes and nesting.
+func splitFlow(s string, line int) ([]string, error) {
+	var parts []string
+	depth := 0
+	inSingle, inDouble := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '[':
+			if !inSingle && !inDouble {
+				depth++
+			}
+		case ']':
+			if !inSingle && !inDouble {
+				depth--
+				if depth < 0 {
+					return nil, fmt.Errorf("config: line %d: unbalanced brackets", line)
+				}
+			}
+		case ',':
+			if depth == 0 && !inSingle && !inDouble {
+				parts = append(parts, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 || inSingle || inDouble {
+		return nil, fmt.Errorf("config: line %d: unbalanced flow list", line)
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	return parts, nil
+}

@@ -1,0 +1,244 @@
+package config
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseScalars(t *testing.T) {
+	src := `
+a: 1
+b: 2.5
+c: hello
+d: "quoted string"
+e: 'single quoted'
+f: true
+g: false
+h: null
+i: None
+j: ~
+k: [1, 2.5, "x", true]
+`
+	v, err := ParseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	want := map[string]any{
+		"a": 1, "b": 2.5, "c": "hello", "d": "quoted string", "e": "single quoted",
+		"f": true, "g": false, "h": nil, "i": nil, "j": nil,
+		"k": []any{1, 2.5, "x", true},
+	}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("got %#v\nwant %#v", m, want)
+	}
+}
+
+func TestParseNestedMaps(t *testing.T) {
+	src := `
+outer:
+  inner:
+    x: 1
+    y: 2
+  sibling: 3
+top: 4
+`
+	v, err := ParseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	outer := m["outer"].(map[string]any)
+	inner := outer["inner"].(map[string]any)
+	if inner["x"] != 1 || inner["y"] != 2 || outer["sibling"] != 3 || m["top"] != 4 {
+		t.Fatalf("nested parse wrong: %#v", m)
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	src := `
+items:
+- 1
+- two
+- key: val
+  other: 2
+- nested:
+    deep: true
+`
+	v, err := ParseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := v.(map[string]any)["items"].([]any)
+	if len(items) != 4 {
+		t.Fatalf("got %d items: %#v", len(items), items)
+	}
+	if items[0] != 1 || items[1] != "two" {
+		t.Fatalf("scalar items wrong: %#v", items[:2])
+	}
+	m2 := items[2].(map[string]any)
+	if m2["key"] != "val" || m2["other"] != 2 {
+		t.Fatalf("inline map item wrong: %#v", m2)
+	}
+	m3 := items[3].(map[string]any)
+	if m3["nested"].(map[string]any)["deep"] != true {
+		t.Fatalf("nested map item wrong: %#v", m3)
+	}
+}
+
+func TestParseIndentedList(t *testing.T) {
+	// Lists may be indented under their key too.
+	src := `
+key:
+  - a
+  - b
+`
+	v, err := ParseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := v.(map[string]any)["key"].([]any)
+	if !reflect.DeepEqual(list, []any{"a", "b"}) {
+		t.Fatalf("got %#v", list)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# full line comment
+a: 1 # trailing comment
+b: "has # inside quotes"
+`
+	v, err := ParseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	if m["a"] != 1 {
+		t.Fatalf("a = %#v", m["a"])
+	}
+	if m["b"] != "has # inside quotes" {
+		t.Fatalf("b = %#v", m["b"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                  // empty
+		"a: {flow: map}",    // flow map
+		"a: *alias",         // alias
+		"a: &anchor val",    // anchor
+		"a: |",              // block scalar
+		"a: [1, 2",          // unterminated flow list
+		"a: \"unterminated", // unterminated string
+		"a: 1\na: 2",        // duplicate key
+		"\ta: 1",            // tab indentation
+		"a: 1\n  b: 2",      // bad indent under scalar
+	}
+	for _, src := range cases {
+		if _, err := ParseYAML(src); err == nil {
+			t.Errorf("ParseYAML(%q) accepted invalid input", src)
+		}
+	}
+}
+
+func TestParsePaperExampleConfig(t *testing.T) {
+	// The full Figure 9 configuration from the paper.
+	src := `
+# dataset configuration in YAML format
+dataset:
+  tag: "train"
+  # identify the input source
+  input_source: file # or streaming
+  video_dataset_path: /dataset/train
+  # options for decoding and selection
+  sampling:
+    videos_per_batch: 8
+    frames_per_video: 8
+    frame_stride: 4
+    samples_per_video: 2
+  # defining augmentation steps
+  augmentation:
+  - name: "augment_resize"
+    branch_type: "single"
+    inputs: ["frame"]
+    outputs: ["augmented_frame_0"]
+    config:
+    - resize:
+        shape: [256, 320]
+        interpolation: ["bilinear"]
+  - name: "conditional branch"
+    branch_type: "conditional"
+    inputs: ["augmented_frame_0"]
+    outputs: ["augmented_frame_1"]
+    branches:
+    - condition: "iteration > 10000"
+      config:
+      - inv_sample:
+          true
+    - condition: "else"
+      config: None
+  - name: "random_branch"
+    branch_type: "random"
+    inputs: ["augmented_frame_1"]
+    outputs: ["augmented_frame_2"]
+    branches:
+    - prob: 0.5
+      config:
+      - flip:
+          flip_prob: 0.5
+    - prob: 0.5
+      config: None
+`
+	task, err := LoadTask(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Tag != "train" || task.Source != SourceFile || task.DatasetPath != "/dataset/train" {
+		t.Fatalf("task header wrong: %+v", task)
+	}
+	s := task.Sampling
+	if s.VideosPerBatch != 8 || s.FramesPerVideo != 8 || s.FrameStride != 4 || s.SamplesPerVideo != 2 {
+		t.Fatalf("sampling wrong: %+v", s)
+	}
+	if len(task.Stages) != 3 {
+		t.Fatalf("got %d stages", len(task.Stages))
+	}
+	st0 := task.Stages[0]
+	if st0.Type != BranchSingle || len(st0.Ops) != 1 || st0.Ops[0].Op != "resize" {
+		t.Fatalf("stage 0 wrong: %+v", st0)
+	}
+	if h, w, ok := paramsPair(st0.Ops[0].Params, "shape"); !ok || h != 256 || w != 320 {
+		t.Fatalf("resize shape wrong: %+v", st0.Ops[0].Params)
+	}
+	st1 := task.Stages[1]
+	if st1.Type != BranchConditional || len(st1.Branches) != 2 {
+		t.Fatalf("stage 1 wrong: %+v", st1)
+	}
+	if st1.Branches[0].Condition != "iteration > 10000" || len(st1.Branches[0].Ops) != 1 {
+		t.Fatalf("conditional branch 0 wrong: %+v", st1.Branches[0])
+	}
+	if st1.Branches[1].Condition != "else" || len(st1.Branches[1].Ops) != 0 {
+		t.Fatalf("conditional branch 1 wrong: %+v", st1.Branches[1])
+	}
+	st2 := task.Stages[2]
+	if st2.Type != BranchRandom || len(st2.Branches) != 2 {
+		t.Fatalf("stage 2 wrong: %+v", st2)
+	}
+	if st2.Branches[0].Prob != 0.5 || st2.Branches[0].Ops[0].Op != "flip" {
+		t.Fatalf("random branch 0 wrong: %+v", st2.Branches[0])
+	}
+	if task.FinalOutput() != "augmented_frame_2" {
+		t.Fatalf("final output = %q", task.FinalOutput())
+	}
+}
+
+func paramsPair(m map[string]any, key string) (a, b int, ok bool) {
+	list, isList := m[key].([]any)
+	if !isList || len(list) != 2 {
+		return 0, 0, false
+	}
+	ai, okA := list[0].(int)
+	bi, okB := list[1].(int)
+	return ai, bi, okA && okB
+}

@@ -1,0 +1,88 @@
+// Package core implements the SAND service: it compiles task configs into
+// materialization plans (internal/graph), executes them with a
+// priority-scheduled worker pool (internal/sched) over the real codec and
+// augmentation library, manages training objects in the storage tier
+// (internal/storage), and exposes every intermediate as a view through the
+// POSIX-shaped filesystem (internal/vfs).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sand/internal/frame"
+)
+
+const batchMagic = 0x53424131 // "SBA1"
+
+// EncodeBatch serializes a training batch: a count header followed by
+// length-prefixed clip payloads and their labels. This is the byte stream
+// a read() on a batch view returns.
+func EncodeBatch(b *frame.Batch) ([]byte, error) {
+	if len(b.Clips) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	if len(b.Labels) != 0 && len(b.Labels) != len(b.Clips) {
+		return nil, fmt.Errorf("core: %d labels for %d clips", len(b.Labels), len(b.Clips))
+	}
+	var out []byte
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], batchMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(b.Clips)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(b.Epoch))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(b.Iteration))
+	out = append(out, hdr...)
+	for i, clip := range b.Clips {
+		enc, err := frame.EncodeClip(clip)
+		if err != nil {
+			return nil, fmt.Errorf("core: clip %d: %w", i, err)
+		}
+		label := ""
+		if len(b.Labels) > 0 {
+			label = b.Labels[i]
+		}
+		var pre [8]byte
+		binary.LittleEndian.PutUint32(pre[0:], uint32(len(enc)))
+		binary.LittleEndian.PutUint32(pre[4:], uint32(len(label)))
+		out = append(out, pre[:]...)
+		out = append(out, enc...)
+		out = append(out, label...)
+	}
+	return out, nil
+}
+
+// DecodeBatch reverses EncodeBatch.
+func DecodeBatch(data []byte) (*frame.Batch, error) {
+	if len(data) < 16 || binary.LittleEndian.Uint32(data[0:]) != batchMagic {
+		return nil, fmt.Errorf("core: bad batch header")
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if n <= 0 || n > 1<<16 {
+		return nil, fmt.Errorf("core: implausible clip count %d", n)
+	}
+	b := &frame.Batch{
+		Epoch:     int(binary.LittleEndian.Uint32(data[8:])),
+		Iteration: int(binary.LittleEndian.Uint32(data[12:])),
+	}
+	off := 16
+	for i := 0; i < n; i++ {
+		if off+8 > len(data) {
+			return nil, fmt.Errorf("core: batch truncated at clip %d", i)
+		}
+		clipLen := int(binary.LittleEndian.Uint32(data[off:]))
+		labelLen := int(binary.LittleEndian.Uint32(data[off+4:]))
+		off += 8
+		if off+clipLen+labelLen > len(data) {
+			return nil, fmt.Errorf("core: batch clip %d payload truncated", i)
+		}
+		clip, err := frame.DecodeClip(data[off : off+clipLen])
+		if err != nil {
+			return nil, fmt.Errorf("core: batch clip %d: %w", i, err)
+		}
+		off += clipLen
+		b.Labels = append(b.Labels, string(data[off:off+labelLen]))
+		off += labelLen
+		b.Clips = append(b.Clips, clip)
+	}
+	return b, nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sand/internal/config"
+)
+
+// multiMergeTask splits the flow into two parallel branches (a small
+// grayscale thumbnail and a flipped color crop) and merges them into one
+// output stream — exercising all five branch types in one pipeline
+// together with the conditional/random stages of miniTask.
+func multiMergeTask(t testing.TB) *config.Task {
+	t.Helper()
+	task := &config.Task{
+		Tag:         "mm",
+		Source:      config.SourceFile,
+		DatasetPath: "/data/mini",
+		Sampling:    config.Sampling{VideosPerBatch: 2, FramesPerVideo: 3, FrameStride: 2, SamplesPerVideo: 1},
+		Stages: []config.Stage{
+			{
+				Name: "resize", Type: config.BranchSingle,
+				Inputs: []string{"frame"}, Outputs: []string{"base"},
+				Ops: []config.OpSpec{{Op: "resize", Params: map[string]any{"shape": []any{32, 32}}}},
+			},
+			{
+				Name: "split", Type: config.BranchMulti,
+				Inputs: []string{"base"}, Outputs: []string{"thumb", "flipped"},
+				Branches: []config.SubBranch{
+					{Ops: []config.OpSpec{
+						{Op: "resize", Params: map[string]any{"shape": []any{16, 16}}},
+					}},
+					{Ops: []config.OpSpec{
+						{Op: "flip", Params: map[string]any{"flip_prob": 1.0}},
+					}},
+				},
+			},
+			{
+				Name: "join", Type: config.BranchMerge,
+				Inputs: []string{"thumb", "flipped"}, Outputs: []string{"merged"},
+			},
+		},
+	}
+	if err := task.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+// TestMultiMergeGeometryMismatchRejected: a merge whose branches arrive
+// at different frame geometry cannot form a single clip; planning must
+// reject it with a clear error instead of producing corrupt batches.
+func TestMultiMergeGeometryMismatchRejected(t *testing.T) {
+	_, err := New(Options{
+		Tasks:       []*config.Task{multiMergeTask(t)},
+		Dataset:     miniDataset(t, 2),
+		ChunkEpochs: 1,
+		TotalEpochs: 1,
+		MemBudget:   64 << 20,
+		Workers:     2,
+		Coordinate:  true,
+		Seed:        3,
+	})
+	if err == nil {
+		t.Fatal("service accepted a merge of 16x16 and 32x32 branches")
+	}
+	if !strings.Contains(err.Error(), "mismatched geometry") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// uniformMultiMergeTask keeps both branches at identical geometry so the
+// merged clip is well-formed, and checks branch content differs.
+func TestMultiMergeBranchContentsDiffer(t *testing.T) {
+	task := &config.Task{
+		Tag:         "mm2",
+		Source:      config.SourceFile,
+		DatasetPath: "/data/mini",
+		Sampling:    config.Sampling{VideosPerBatch: 1, FramesPerVideo: 2, FrameStride: 2, SamplesPerVideo: 1},
+		Stages: []config.Stage{
+			{
+				Name: "resize", Type: config.BranchSingle,
+				Inputs: []string{"frame"}, Outputs: []string{"base"},
+				Ops: []config.OpSpec{{Op: "resize", Params: map[string]any{"shape": []any{24, 24}}}},
+			},
+			{
+				Name: "split", Type: config.BranchMulti,
+				Inputs: []string{"base"}, Outputs: []string{"plain", "flipped"},
+				Branches: []config.SubBranch{
+					{}, // pass-through
+					{Ops: []config.OpSpec{{Op: "flip", Params: map[string]any{"flip_prob": 1.0}}}},
+				},
+			},
+			{
+				Name: "join", Type: config.BranchMerge,
+				Inputs: []string{"plain", "flipped"}, Outputs: []string{"merged"},
+			},
+		},
+	}
+	if err := task.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := newService(t, []*config.Task{task}, 2)
+	loader, err := s.NewLoader("mm2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, _, err := loader.Next(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := batch.Clips[0]
+	if clip.Len() != 4 {
+		t.Fatalf("merged clip has %d frames, want 2 branches x 2 frames", clip.Len())
+	}
+	// Frames 0,1 = plain branch; 2,3 = flipped branch; the flipped frame
+	// must be the horizontal mirror of its plain counterpart.
+	for i := 0; i < 2; i++ {
+		plain, flipped := clip.Frames[i], clip.Frames[i+2]
+		if plain.Equal(flipped) {
+			t.Fatalf("branch %d identical to flipped branch — multi ops not applied", i)
+		}
+		mismatch := false
+		for c := 0; c < plain.C && !mismatch; c++ {
+			for y := 0; y < plain.H && !mismatch; y++ {
+				for x := 0; x < plain.W; x++ {
+					if plain.At(x, y, c) != flipped.At(plain.W-1-x, y, c) {
+						mismatch = true
+						break
+					}
+				}
+			}
+		}
+		if mismatch {
+			t.Fatalf("frame %d: flipped branch is not the mirror of the plain branch", i)
+		}
+	}
+}
+
+// TestConditionalStageSwitchesAtEpoch drives a conditional pipeline across
+// its threshold inside the real engine: before epoch 2 the clip plays
+// forward, from epoch 2 it is temporally reversed (inv_sample).
+func TestConditionalStageSwitchesAtEpoch(t *testing.T) {
+	task := &config.Task{
+		Tag:         "cond",
+		Source:      config.SourceFile,
+		DatasetPath: "/data/mini",
+		Sampling:    config.Sampling{VideosPerBatch: 1, FramesPerVideo: 4, FrameStride: 2, SamplesPerVideo: 1},
+		Stages: []config.Stage{{
+			Name: "maybe-reverse", Type: config.BranchConditional,
+			Inputs: []string{"frame"}, Outputs: []string{"o"},
+			Branches: []config.SubBranch{
+				{Condition: "epoch >= 2", Ops: []config.OpSpec{{Op: "inv_sample", Params: map[string]any{}}}},
+				{Condition: "else"},
+			},
+		}},
+	}
+	if err := task.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{
+		Tasks:       []*config.Task{task},
+		Dataset:     miniDataset(t, 2),
+		ChunkEpochs: 2,
+		TotalEpochs: 4,
+		MemBudget:   64 << 20,
+		Workers:     2,
+		Coordinate:  true,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	loader, _ := s.NewLoader("cond")
+	check := func(epoch int, wantReversed bool) {
+		batch, _, err := loader.Next(epoch, 0)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		frames := batch.Clips[0].Frames
+		ascending := true
+		for i := 1; i < len(frames); i++ {
+			if frames[i].Index < frames[i-1].Index {
+				ascending = false
+			}
+		}
+		if wantReversed == ascending {
+			t.Fatalf("epoch %d: reversed=%v but frame order ascending=%v", epoch, wantReversed, ascending)
+		}
+	}
+	check(0, false)
+	check(1, false)
+	check(2, true)
+	check(3, true)
+}
+
+// TestRandomStageDistribution: a 50/50 random flip stage must flip about
+// half of all samples across many iterations.
+func TestRandomStageDistribution(t *testing.T) {
+	task := &config.Task{
+		Tag:         "rnd",
+		Source:      config.SourceFile,
+		DatasetPath: "/data/mini",
+		Sampling:    config.Sampling{VideosPerBatch: 2, FramesPerVideo: 2, FrameStride: 2, SamplesPerVideo: 1},
+		Stages: []config.Stage{
+			{
+				Name: "resize", Type: config.BranchSingle,
+				Inputs: []string{"frame"}, Outputs: []string{"a"},
+				Ops: []config.OpSpec{{Op: "resize", Params: map[string]any{"shape": []any{16, 16}}}},
+			},
+			{
+				Name: "flip?", Type: config.BranchRandom,
+				Inputs: []string{"a"}, Outputs: []string{"b"},
+				Branches: []config.SubBranch{
+					{Prob: 0.5, Ops: []config.OpSpec{{Op: "grayscale", Params: map[string]any{}}}},
+					{Prob: 0.5},
+				},
+			},
+		},
+	}
+	if err := task.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{
+		Tasks:       []*config.Task{task},
+		Dataset:     miniDataset(t, 8),
+		ChunkEpochs: 6,
+		TotalEpochs: 6,
+		MemBudget:   128 << 20,
+		Workers:     4,
+		Coordinate:  true,
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	loader, _ := s.NewLoader("rnd")
+	iters, _ := s.ItersPerEpoch("rnd")
+	gray, color := 0, 0
+	for e := 0; e < 6; e++ {
+		for it := 0; it < iters; it++ {
+			batch, _, err := loader.Next(e, it)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, clip := range batch.Clips {
+				_, _, c := clip.Geometry()
+				if c == 1 {
+					gray++
+				} else {
+					color++
+				}
+			}
+		}
+	}
+	total := gray + color
+	if total == 0 {
+		t.Fatal("no samples")
+	}
+	frac := float64(gray) / float64(total)
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("random branch fired %.0f%% of the time (%d/%d), want ~50%%", frac*100, gray, total)
+	}
+}

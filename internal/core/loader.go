@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sand/internal/frame"
+	"sand/internal/vfs"
+)
+
+// Loader is the few-lines-of-code consumer interface from Figure 6 of the
+// paper: training code opens the batch view for (epoch, iteration), reads
+// the payload, fetches metadata via getxattr, and closes the descriptor.
+// Loader wraps exactly those four POSIX calls.
+type Loader struct {
+	fs   *vfs.FS
+	task string
+}
+
+// NewLoader creates a loader bound to one task.
+func (s *Service) NewLoader(task string) (*Loader, error) {
+	if _, ok := s.tasks[task]; !ok {
+		return nil, fmt.Errorf("core: unknown task %q", task)
+	}
+	return &Loader{fs: s.fs, task: task}, nil
+}
+
+// BatchMeta is the metadata exposed through xattrs on a batch view.
+type BatchMeta struct {
+	Clips         int
+	FramesPerClip int
+	Geometry      string
+	Timestamps    []string
+	Labels        []string
+}
+
+// Next fetches the batch for (epoch, iteration) — the full Figure 6
+// sequence: open, read, getxattr, close.
+func (l *Loader) Next(epoch, iteration int) (*frame.Batch, BatchMeta, error) {
+	var meta BatchMeta
+	path := vfs.BatchPath(l.task, epoch, iteration)
+	fd, err := l.fs.Open(path) // open()
+	if err != nil {
+		return nil, meta, err
+	}
+	defer l.fs.Close(fd)          // close()
+	data, err := l.fs.ReadAll(fd) // read()
+	if err != nil {
+		return nil, meta, err
+	}
+	if ts, err := l.fs.Getxattr(fd, "user.sand.timestamps"); err == nil { // getxattr()
+		meta.Timestamps = strings.Split(ts, ",")
+	}
+	if labels, err := l.fs.Getxattr(fd, "user.sand.labels"); err == nil {
+		meta.Labels = strings.Split(labels, ",")
+	}
+	if g, err := l.fs.Getxattr(fd, "user.sand.geometry"); err == nil {
+		meta.Geometry = g
+	}
+	batch, err := DecodeBatch(data)
+	if err != nil {
+		return nil, meta, err
+	}
+	meta.Clips = batch.Len()
+	if batch.Len() > 0 {
+		meta.FramesPerClip = batch.Clips[0].Len()
+	}
+	return batch, meta, nil
+}

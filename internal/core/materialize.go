@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sand/internal/codec"
+	"sand/internal/dataset"
+	"sand/internal/frame"
+	"sand/internal/graph"
+	"sand/internal/sched"
+	"sand/internal/storage"
+	"sand/internal/vfs"
+)
+
+// Object-key scheme for the storage tier. Object keys are task-agnostic
+// on purpose: identical objects requested by different tasks share one
+// entry, which is where cross-task reuse materializes.
+func frameKey(video string, idx int) string {
+	return fmt.Sprintf("/obj/%s/f%d", video, idx)
+}
+
+func augKey(video string, idx int, sig string) string {
+	return fmt.Sprintf("/obj/%s/f%d/%s", video, idx, sanitizeSig(sig))
+}
+
+func batchKey(task string, epoch, iter int) string {
+	return fmt.Sprintf("/batch/%s/%d/%d", task, epoch, iter)
+}
+
+// sanitizeSig makes an op signature safe as a single path segment.
+func sanitizeSig(sig string) string {
+	r := strings.NewReplacer("/", "_", "|", "+", "(", "", ")", "", ",", ".")
+	return r.Replace(sig)
+}
+
+// cumulativeSig renders the signature prefix of ops[:d].
+func cumulativeSig(ops []graph.ResolvedOp, d int) string {
+	parts := make([]string, d)
+	for i := 0; i < d; i++ {
+		parts[i] = ops[i].Sig
+	}
+	return strings.Join(parts, "|")
+}
+
+// nodeAtDepth walks up from the sample's leaf for the given frame to the
+// node at op-depth d (0 = decoded frame). Returns nil when the chain is
+// shorter than expected (defensive).
+func nodeAtDepth(leaf *graph.Node, total, d int) *graph.Node {
+	n := leaf
+	for i := total; i > d && n != nil; i-- {
+		n = n.Parent
+	}
+	return n
+}
+
+// materializeSampleClip produces the final clip for one planned sample,
+// reusing every cached object it can find. A sample with several chains
+// (a multi/merge pipeline) yields the ordered concatenation of its
+// chains' clips; decoded source frames are shared across chains through
+// a local map so multi-branch pipelines decode each frame once. deadline
+// is the scheduling deadline attached to objects it stores.
+func (s *Service) materializeSampleClip(sm *graph.Sample, deadline int64) (*frame.Clip, error) {
+	ent, ok := s.snapshot().Find(sm.Video)
+	if !ok || ent.Video == nil {
+		return nil, fmt.Errorf("core: video %q not in dataset", sm.Video)
+	}
+	// rawCache holds frames decoded during this call, shared by chains.
+	rawCache := map[int]*frame.Frame{}
+
+	var out []*frame.Frame
+	for ci, chain := range sm.Chains {
+		clipFrames, err := s.materializeChain(sm, ci, chain, ent, rawCache, deadline)
+		if err != nil {
+			return nil, err
+		}
+		if chain.Reversed {
+			for i, j := 0, len(clipFrames)-1; i < j; i, j = i+1, j-1 {
+				clipFrames[i], clipFrames[j] = clipFrames[j], clipFrames[i]
+			}
+		}
+		out = append(out, clipFrames...)
+	}
+	return frame.NewClip(out)
+}
+
+// materializeChain produces one chain's frames for a sample.
+func (s *Service) materializeChain(sm *graph.Sample, ci int, chain *graph.ResolvedChain,
+	ent *dataset.Entry, rawCache map[int]*frame.Frame, deadline int64) ([]*frame.Frame, error) {
+
+	total := len(chain.Ops)
+	out := make([]*frame.Frame, len(sm.FrameIndices))
+	// missing tracks frames that need decoding: position -> source index.
+	var missingPos []int
+	var missingIdx []int
+
+	for pos, idx := range sm.FrameIndices {
+		if f, ok := rawCache[idx]; ok {
+			g, err := s.applyOps(sm, ci, chain, f.Clone(), 0, idx, deadline)
+			if err != nil {
+				return nil, err
+			}
+			out[pos] = g
+			continue
+		}
+		f, fromDepth, err := s.loadBestCached(sm, chain, idx, total)
+		if err != nil {
+			return nil, err
+		}
+		if f == nil {
+			missingPos = append(missingPos, pos)
+			missingIdx = append(missingIdx, idx)
+			continue
+		}
+		s.countReuse()
+		g, err := s.applyOps(sm, ci, chain, f, fromDepth, idx, deadline)
+		if err != nil {
+			return nil, err
+		}
+		out[pos] = g
+	}
+
+	if len(missingIdx) > 0 {
+		// Decode all missing frames in one ascending pass.
+		order := make([]int, len(missingIdx))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return missingIdx[order[a]] < missingIdx[order[b]] })
+		sortedIdx := make([]int, 0, len(missingIdx))
+		for _, o := range order {
+			if len(sortedIdx) == 0 || sortedIdx[len(sortedIdx)-1] != missingIdx[o] {
+				sortedIdx = append(sortedIdx, missingIdx[o])
+			}
+		}
+		dec := codec.NewDecoder(ent.Video, nil)
+		decoded, err := dec.Frames(sortedIdx)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode %s: %w", sm.Video, err)
+		}
+		byIdx := make(map[int]*frame.Frame, len(decoded))
+		for _, f := range decoded {
+			byIdx[f.Index] = f
+			rawCache[f.Index] = f
+		}
+		s.mu.Lock()
+		s.stats.ObjectsDecoded += int64(len(decoded))
+		s.mu.Unlock()
+		for i, pos := range missingPos {
+			idx := missingIdx[i]
+			f := byIdx[idx]
+			if f == nil {
+				return nil, fmt.Errorf("core: decoder lost frame %d", idx)
+			}
+			// Cache the decoded frame if the plan says so.
+			if fn := nodeAtDepth(sm.Leaves[ci][pos], total, 0); fn != nil && fn.Cached {
+				if err := s.storeFrame(frameKey(sm.Video, idx), f, deadline, false); err != nil {
+					return nil, err
+				}
+			}
+			g, err := s.applyOps(sm, ci, chain, f.Clone(), 0, idx, deadline)
+			if err != nil {
+				return nil, err
+			}
+			out[pos] = g
+		}
+	}
+	return out, nil
+}
+
+// loadBestCached searches the store for the deepest cached prefix of one
+// chain for one frame: the leaf first, then shallower aug objects, then
+// the decoded frame. Returns the loaded frame and the depth it
+// corresponds to, or (nil, 0, nil) when nothing is cached.
+func (s *Service) loadBestCached(sm *graph.Sample, chain *graph.ResolvedChain, idx, total int) (*frame.Frame, int, error) {
+	for d := total; d >= 0; d-- {
+		var key string
+		if d == 0 {
+			key = frameKey(sm.Video, idx)
+		} else {
+			key = augKey(sm.Video, idx, cumulativeSig(chain.Ops, d))
+		}
+		obj, err := s.store.Get(key)
+		if err != nil {
+			continue
+		}
+		f, err := frame.DecodeFrame(obj.Data)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: corrupt cached object %s: %w", key, err)
+		}
+		s.store.MarkUsed(key)
+		return f, d, nil
+	}
+	return nil, 0, nil
+}
+
+// applyOps runs chain.Ops[fromDepth:] on f, storing intermediate objects
+// whose plan nodes are cached.
+func (s *Service) applyOps(sm *graph.Sample, ci int, chain *graph.ResolvedChain,
+	f *frame.Frame, fromDepth, idx int, deadline int64) (*frame.Frame, error) {
+	total := len(chain.Ops)
+	cur := f
+	for d := fromDepth; d < total; d++ {
+		clip, err := frame.NewClip([]*frame.Frame{cur})
+		if err != nil {
+			return nil, err
+		}
+		res, err := chain.Ops[d].Op.Apply(clip, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: op %s on %s frame %d: %w", chain.Ops[d].Op.Name(), sm.Video, idx, err)
+		}
+		cur = res.Frames[0]
+		cur.Index = idx
+		if node := nodeAtDepth(findLeaf(sm, ci, idx), total, d+1); node != nil && node.Cached {
+			key := augKey(sm.Video, idx, cumulativeSig(chain.Ops, d+1))
+			if err := s.storeFrame(key, cur, deadline, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cur, nil
+}
+
+// findLeaf returns the sample's leaf node of chain ci for the given
+// source frame.
+func findLeaf(sm *graph.Sample, ci int, idx int) *graph.Node {
+	for pos, fi := range sm.FrameIndices {
+		if fi == idx && ci < len(sm.Leaves) && pos < len(sm.Leaves[ci]) {
+			return sm.Leaves[ci][pos]
+		}
+	}
+	return nil
+}
+
+// storeFrame serializes and stores a frame object, persisting it when a
+// disk tier exists (fault tolerance for unpruned objects).
+func (s *Service) storeFrame(key string, f *frame.Frame, deadline int64, ephemeral bool) error {
+	data, err := frame.EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	obj := &storage.Object{Key: key, Data: data, Deadline: deadline, Ephemeral: ephemeral}
+	if err := s.store.Put(obj); err != nil {
+		return err
+	}
+	if s.opts.CacheDir != "" && !ephemeral {
+		// Best-effort persistence; memory-tier copy remains authoritative.
+		if err := s.store.Persist(key); err != nil && !strings.Contains(err.Error(), "budget") {
+			return err
+		}
+	}
+	return nil
+}
+
+// countReuse bumps the reuse counter.
+func (s *Service) countReuse() {
+	s.mu.Lock()
+	s.stats.ObjectsReused++
+	s.mu.Unlock()
+}
+
+// materializeBatch builds the full batch payload for one iteration and
+// stores it under the batch key.
+func (s *Service) materializeBatch(key iterationKey, deadline int64) error {
+	samples, err := s.scheduleFor(key)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("%w: empty iteration %v", vfs.ErrNotExist, key)
+	}
+	batch := &frame.Batch{Epoch: key.epoch, Iteration: key.iter}
+	for _, sm := range samples {
+		clip, err := s.materializeSampleClip(sm, deadline)
+		if err != nil {
+			return err
+		}
+		label := ""
+		if ent, ok := s.snapshot().Find(sm.Video); ok {
+			label = ent.Spec.Label
+		}
+		batch.Clips = append(batch.Clips, clip)
+		batch.Labels = append(batch.Labels, label)
+	}
+	data, err := EncodeBatch(batch)
+	if err != nil {
+		return err
+	}
+	obj := &storage.Object{
+		Key:       batchKey(key.task, key.epoch, key.iter),
+		Data:      data,
+		Deadline:  deadline,
+		Ephemeral: true, // a batch is consumed once, then evictable
+	}
+	return s.store.Put(obj)
+}
+
+// ensureBatch returns the serialized batch for an iteration, producing it
+// on the demand path when pre-materialization has not finished. It also
+// schedules pre-materialization for the lookahead window.
+func (s *Service) ensureBatch(key iterationKey) ([]byte, error) {
+	s.mu.Lock()
+	s.currentPos[key.task] = key
+	s.mu.Unlock()
+
+	bk := batchKey(key.task, key.epoch, key.iter)
+	if obj, err := s.store.Get(bk); err == nil {
+		s.store.MarkUsed(bk)
+		s.mu.Lock()
+		s.stats.BatchesServed++
+		s.stats.PrematHits++
+		s.mu.Unlock()
+		s.schedulePremat(key)
+		return obj.Data, nil
+	}
+
+	// Demand path: run at top priority and wait.
+	done := make(chan error, 1)
+	err := s.pool.Submit(&sched.Task{
+		Key:  bk,
+		Kind: sched.Demand,
+		Run: func() error {
+			err := s.materializeBatch(key, 0)
+			done <- err
+			return err
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := <-done; err != nil {
+		return nil, err
+	}
+	obj, err := s.store.Get(bk)
+	if err != nil {
+		return nil, fmt.Errorf("core: batch vanished after materialization: %w", err)
+	}
+	s.store.MarkUsed(bk)
+	s.mu.Lock()
+	s.stats.BatchesServed++
+	s.stats.DemandMisses++
+	s.mu.Unlock()
+	s.schedulePremat(key)
+	return obj.Data, nil
+}
+
+// schedulePremat submits pre-materialization tasks for the next Lookahead
+// iterations of the task, with EDF deadlines and SJF remaining-work
+// estimates. Iteration advancement consults per-epoch iteration counts,
+// which can differ across chunks under streaming ingest.
+func (s *Service) schedulePremat(after iterationKey) {
+	epoch, iter := after.epoch, after.iter
+	for ahead := 1; ahead <= s.opts.Lookahead; ahead++ {
+		itersHere, err := s.ItersInEpoch(after.task, epoch)
+		if err != nil {
+			return
+		}
+		iter++
+		if iter >= itersHere {
+			epoch++
+			iter = 0
+		}
+		if epoch >= s.opts.TotalEpochs {
+			return
+		}
+		key := iterationKey{after.task, epoch, iter}
+		s.mu.Lock()
+		if s.prematSubmitted[key] {
+			s.mu.Unlock()
+			continue
+		}
+		s.prematSubmitted[key] = true
+		s.mu.Unlock()
+		if _, _, err := s.peekBatch(key); err == nil {
+			continue // already materialized
+		}
+		remaining := s.remainingWork(key)
+		deadline := int64(ahead)
+		k := key
+		_ = s.pool.Submit(&sched.Task{
+			Key:       batchKey(k.task, k.epoch, k.iter),
+			Kind:      sched.Premat,
+			Deadline:  deadline,
+			Remaining: remaining,
+			Run: func() error {
+				// Skip if a demand read already produced it.
+				if _, _, err := s.peekBatch(k); err == nil {
+					return nil
+				}
+				return s.materializeBatch(k, deadline)
+			},
+		})
+	}
+}
+
+// peekBatch checks (without materializing) whether an iteration's batch
+// exists in the store.
+func (s *Service) peekBatch(key iterationKey) ([]byte, bool, error) {
+	obj, err := s.store.Get(batchKey(key.task, key.epoch, key.iter))
+	if err != nil {
+		return nil, false, err
+	}
+	return obj.Data, true, nil
+}
+
+// remainingWork estimates the unprocessed-edge count for an iteration's
+// samples — the SJF key.
+func (s *Service) remainingWork(key iterationKey) int {
+	samples, err := s.scheduleFor(key)
+	if err != nil {
+		return 1 << 20
+	}
+	n := 0
+	for _, sm := range samples {
+		for _, chain := range sm.Chains {
+			n += len(sm.FrameIndices) * (1 + len(chain.Ops))
+		}
+	}
+	return n
+}

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"sand/internal/config"
+	"sand/internal/dataset"
+	"sand/internal/graph"
+	"sand/internal/sched"
+	"sand/internal/storage"
+	"sand/internal/vfs"
+)
+
+// Options configures a SAND service.
+type Options struct {
+	// Tasks are the validated task configurations sharing this service
+	// (one for single-task training; several for multi-task or
+	// hyperparameter-search scenarios).
+	Tasks []*config.Task
+	// Dataset is the video corpus all tasks read.
+	Dataset *dataset.Dataset
+	// ChunkEpochs is k: videos are decoded once and their objects cached
+	// for k epochs before the plan refreshes.
+	ChunkEpochs int
+	// TotalEpochs bounds the training run.
+	TotalEpochs int
+	// StorageBudget caps cached-object bytes per chunk (Algorithm 1).
+	StorageBudget int64
+	// MemBudget caps the in-memory object tier.
+	MemBudget int64
+	// CacheDir enables the persistent disk tier ("" = memory only).
+	CacheDir string
+	// Workers sizes the preprocessing pool (the paper's 12 vCPUs).
+	Workers int
+	// Coordinate enables shared-pool/shared-window planning; disable to
+	// reproduce the uncoordinated baseline.
+	Coordinate bool
+	// PoolSlackClips widens the shared frame pool for multi-epoch
+	// variety.
+	PoolSlackClips int
+	// Lookahead is how many iterations ahead pre-materialization runs.
+	Lookahead int
+	// Seed drives all planning randomness.
+	Seed int64
+}
+
+func (o *Options) normalize() error {
+	if len(o.Tasks) == 0 {
+		return fmt.Errorf("core: at least one task required")
+	}
+	if o.Dataset == nil || len(o.Dataset.Videos) == 0 {
+		return fmt.Errorf("core: dataset required")
+	}
+	for _, t := range o.Tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	if o.ChunkEpochs <= 0 {
+		o.ChunkEpochs = 3
+	}
+	if o.TotalEpochs <= 0 {
+		o.TotalEpochs = o.ChunkEpochs
+	}
+	if o.MemBudget <= 0 {
+		o.MemBudget = 256 << 20
+	}
+	if o.StorageBudget <= 0 {
+		o.StorageBudget = o.MemBudget
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Lookahead <= 0 {
+		o.Lookahead = 4
+	}
+	return nil
+}
+
+// iterationKey addresses one training iteration of one task.
+type iterationKey struct {
+	task  string
+	epoch int
+	iter  int
+}
+
+// Service is the SAND engine.
+type Service struct {
+	opts  Options
+	tasks map[string]*config.Task
+	ds    *dataset.Dataset
+	store *storage.Store
+	pool  *sched.Pool
+	fs    *vfs.FS
+
+	mu sync.Mutex
+	// chunk state
+	chunkStart int // first epoch of the active chunk
+	plan       *graph.ChunkPlan
+	pruneRes   graph.PruneResult
+	// schedule maps iterations to the samples that form their batch.
+	schedule map[iterationKey][]*graph.Sample
+	// itersByChunk maps a chunk start epoch to each task's iteration
+	// count within that chunk (datasets can grow between chunks).
+	itersByChunk map[int]map[string]int
+	// currentPos tracks demand progress per task (epoch, iter) for
+	// deadline math and streaming invalidation.
+	currentPos map[string]iterationKey
+	// prematSubmitted dedupes pre-materialization submissions.
+	prematSubmitted map[iterationKey]bool
+	// plannedChunks records chunk start epochs already planned.
+	plannedChunks map[int]bool
+	// batchReady signals per-iteration completion for blocking reads.
+	batchReady map[iterationKey]chan struct{}
+	// cachedFingerprint is the configuration hash used by the plan
+	// manifest (fault-tolerance checkpointing).
+	cachedFingerprint string
+
+	stats ServiceStats
+}
+
+// ServiceStats counts engine-level events.
+type ServiceStats struct {
+	ChunksPlanned  int
+	BatchesServed  int64
+	DemandMisses   int64 // batches materialized on the demand path
+	PrematHits     int64 // batches already materialized when read
+	ObjectsDecoded int64
+	ObjectsReused  int64
+	PruneCollapses int
+	StreamedVideos int
+}
+
+// New creates and starts a service.
+func New(opts Options) (*Service, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		opts:            opts,
+		tasks:           map[string]*config.Task{},
+		ds:              opts.Dataset,
+		schedule:        map[iterationKey][]*graph.Sample{},
+		itersByChunk:    map[int]map[string]int{},
+		currentPos:      map[string]iterationKey{},
+		prematSubmitted: map[iterationKey]bool{},
+		plannedChunks:   map[int]bool{},
+		batchReady:      map[iterationKey]chan struct{}{},
+	}
+	for _, t := range opts.Tasks {
+		if _, dup := s.tasks[t.Tag]; dup {
+			return nil, fmt.Errorf("core: duplicate task tag %q", t.Tag)
+		}
+		s.tasks[t.Tag] = t
+	}
+	st, err := storage.Open(storage.Options{MemBudget: opts.MemBudget, Dir: opts.CacheDir})
+	if err != nil {
+		return nil, err
+	}
+	s.store = st
+	// Fault tolerance (§5.5): refuse to reuse a cache directory written
+	// by an incompatible configuration — the persisted objects would not
+	// match this run's plans.
+	s.cachedFingerprint = s.fingerprint()
+	if err := s.validateManifest(); err != nil {
+		return nil, err
+	}
+	pool, err := sched.NewPool(sched.Options{
+		Workers:     opts.Workers,
+		MemPressure: st.MemPressure,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.pool = pool
+	s.fs = vfs.New(s)
+	if err := s.planChunk(0); err != nil {
+		pool.Abort()
+		return nil, err
+	}
+	if err := s.checkpointManifest(); err != nil {
+		pool.Abort()
+		return nil, err
+	}
+	return s, nil
+}
+
+// FS returns the view filesystem.
+func (s *Service) FS() *vfs.FS { return s.fs }
+
+// Stats returns engine counters.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// StoreStats returns the storage tier's counters.
+func (s *Service) StoreStats() storage.Stats { return s.store.Stats() }
+
+// SchedStats returns the scheduler's counters.
+func (s *Service) SchedStats() sched.Stats { return s.pool.Stats() }
+
+// PruneResult returns the active chunk's pruning summary.
+func (s *Service) PruneResult() graph.PruneResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pruneRes
+}
+
+// ItersInEpoch returns the iteration count of one epoch for a task,
+// planning the epoch's chunk if necessary. With a static dataset every
+// epoch has the same count; under streaming ingest later chunks grow.
+func (s *Service) ItersInEpoch(task string, epoch int) (int, error) {
+	if _, ok := s.tasks[task]; !ok {
+		return 0, fmt.Errorf("core: unknown task %q", task)
+	}
+	if epoch < 0 || epoch >= s.opts.TotalEpochs {
+		return 0, fmt.Errorf("core: epoch %d outside training (%d epochs)", epoch, s.opts.TotalEpochs)
+	}
+	start := (epoch / s.opts.ChunkEpochs) * s.opts.ChunkEpochs
+	s.mu.Lock()
+	planned := s.plannedChunks[start]
+	s.mu.Unlock()
+	if !planned {
+		if err := s.planChunk(start); err != nil {
+			return 0, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byTask, ok := s.itersByChunk[start]
+	if !ok {
+		return 0, fmt.Errorf("core: chunk %d not planned", start)
+	}
+	return byTask[task], nil
+}
+
+// ItersPerEpoch returns the iteration count of the first epoch — the
+// stable value for static datasets. Prefer ItersInEpoch under streaming.
+func (s *Service) ItersPerEpoch(task string) (int, error) {
+	return s.ItersInEpoch(task, 0)
+}
+
+// Close shuts the engine down, draining in-flight work.
+func (s *Service) Close() {
+	s.pool.Abort()
+}
+
+// snapshot returns the current dataset under the service lock. The
+// returned value is immutable by convention: ExtendDataset replaces the
+// whole *dataset.Dataset rather than mutating it, so holders of a
+// snapshot can read it without further locking.
+func (s *Service) snapshot() *dataset.Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ds
+}
+
+// ExtendDataset appends freshly ingested videos (the streaming input
+// source, §5.1's "input_source: streaming"): the new entries become part
+// of every epoch planned from the next chunk boundary onward. Entries
+// must have distinct names and encoded payloads.
+func (s *Service) ExtendDataset(entries []dataset.Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := &dataset.Dataset{Name: s.ds.Name}
+	next.Videos = append(next.Videos, s.ds.Videos...)
+	for _, e := range entries {
+		if e.Video == nil {
+			return fmt.Errorf("core: streamed video %q has no payload", e.Spec.Name)
+		}
+		if _, dup := next.Find(e.Spec.Name); dup {
+			return fmt.Errorf("core: streamed video %q already in dataset", e.Spec.Name)
+		}
+		next.Videos = append(next.Videos, e)
+	}
+	s.ds = next
+	s.stats.StreamedVideos += len(entries)
+
+	// Invalidate plans for chunks that have not started yet (lookahead
+	// pre-materialization may have planned them against the old dataset):
+	// their schedules, dedupe marks and any already-built batches are
+	// dropped so the next access re-plans over the extended dataset.
+	maxEpoch := 0
+	for _, pos := range s.currentPos {
+		if pos.epoch > maxEpoch {
+			maxEpoch = pos.epoch
+		}
+	}
+	activeStart := (maxEpoch / s.opts.ChunkEpochs) * s.opts.ChunkEpochs
+	for start := range s.plannedChunks {
+		if start <= activeStart {
+			continue
+		}
+		delete(s.plannedChunks, start)
+		delete(s.itersByChunk, start)
+		end := start + s.opts.ChunkEpochs
+		for key := range s.schedule {
+			if key.epoch >= start && key.epoch < end {
+				delete(s.schedule, key)
+			}
+		}
+		for key := range s.prematSubmitted {
+			if key.epoch >= start && key.epoch < end {
+				delete(s.prematSubmitted, key)
+			}
+		}
+		for tag := range s.tasks {
+			for e := start; e < end; e++ {
+				for _, k := range s.store.Keys(fmt.Sprintf("/batch/%s/%d/", tag, e)) {
+					_ = s.store.Delete(k)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// planChunk builds the concrete plan for the k epochs starting at
+// startEpoch, prunes it to the storage budget, and lays out the iteration
+// schedule (which samples form which batch).
+func (s *Service) planChunk(startEpoch int) error {
+	epochs := s.opts.ChunkEpochs
+	if startEpoch+epochs > s.opts.TotalEpochs {
+		epochs = s.opts.TotalEpochs - startEpoch
+	}
+	if epochs <= 0 {
+		return fmt.Errorf("core: no epochs left to plan at %d", startEpoch)
+	}
+	specs := make([]graph.TaskSpec, 0, len(s.tasks))
+	tags := make([]string, 0, len(s.tasks))
+	for tag := range s.tasks {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		specs = append(specs, graph.TaskSpec{Task: s.tasks[tag]})
+	}
+	ds := s.snapshot()
+	metas := make([]graph.VideoMeta, len(ds.Videos))
+	for i := range ds.Videos {
+		e := &ds.Videos[i]
+		metas[i] = graph.VideoMeta{
+			Name:   e.Spec.Name,
+			Frames: e.Spec.Frames,
+			W:      e.Spec.W, H: e.Spec.H, C: e.Spec.C,
+			GOP: e.Spec.GOP,
+		}
+		if e.Video != nil {
+			metas[i].EncodedBytes = int64(e.Video.Bytes())
+		}
+	}
+	plan, err := graph.BuildChunkPlan(specs, metas, graph.PlanParams{
+		StartEpoch:     startEpoch,
+		Epochs:         epochs,
+		Coordinate:     s.opts.Coordinate,
+		PoolSlackClips: s.opts.PoolSlackClips,
+		Seed:           s.opts.Seed + int64(startEpoch)*7919,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := graph.PrunePlan(plan, s.opts.StorageBudget)
+	if err != nil {
+		return err
+	}
+
+	// Index samples by (task, epoch, video, sampleIdx).
+	type sampleKey struct {
+		task   string
+		epoch  int
+		video  string
+		sample int
+	}
+	byKey := make(map[sampleKey]*graph.Sample, len(plan.Samples))
+	for _, sm := range plan.Samples {
+		byKey[sampleKey{sm.Task, sm.Epoch, sm.Video, sm.SampleIdx}] = sm
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.plannedChunks[startEpoch] {
+		return nil // another goroutine planned this chunk already
+	}
+	s.plannedChunks[startEpoch] = true
+	s.chunkStart = startEpoch
+	s.plan = plan
+	s.pruneRes = res
+	s.stats.ChunksPlanned++
+	s.stats.PruneCollapses += res.Collapses
+
+	// Per task and epoch: shuffle videos (each task independently — the
+	// once-per-epoch coverage rule holds per task) and group them into
+	// batches.
+	for _, tag := range tags {
+		t := s.tasks[tag]
+		vpb := t.Sampling.VideosPerBatch
+		nVideos := len(ds.Videos)
+		iters := (nVideos + vpb - 1) / vpb
+		if s.itersByChunk[startEpoch] == nil {
+			s.itersByChunk[startEpoch] = map[string]int{}
+		}
+		s.itersByChunk[startEpoch][tag] = iters
+		for e := startEpoch; e < startEpoch+epochs; e++ {
+			order := rand.New(rand.NewSource(s.opts.Seed ^ int64(e)<<16 ^ int64(len(tag))*31)).Perm(nVideos)
+			for it := 0; it < iters; it++ {
+				key := iterationKey{tag, e, it}
+				for v := it * vpb; v < (it+1)*vpb && v < nVideos; v++ {
+					video := ds.Videos[order[v]].Spec.Name
+					for sIdx := 0; sIdx < t.Sampling.SamplesPerVideo; sIdx++ {
+						sm, ok := byKey[sampleKey{tag, e, video, sIdx}]
+						if !ok {
+							return fmt.Errorf("core: plan missing sample %s/%d/%s/%d", tag, e, video, sIdx)
+						}
+						s.schedule[key] = append(s.schedule[key], sm)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// scheduleFor returns the samples of one iteration, planning the next
+// chunk transparently when the epoch crosses the chunk boundary.
+func (s *Service) scheduleFor(key iterationKey) ([]*graph.Sample, error) {
+	if _, ok := s.tasks[key.task]; !ok {
+		return nil, fmt.Errorf("%w: unknown task %q", vfs.ErrNotExist, key.task)
+	}
+	if key.epoch >= s.opts.TotalEpochs {
+		return nil, fmt.Errorf("%w: epoch %d beyond training (%d epochs)", vfs.ErrNotExist, key.epoch, s.opts.TotalEpochs)
+	}
+	s.mu.Lock()
+	samples, ok := s.schedule[key]
+	s.mu.Unlock()
+	if ok {
+		return samples, nil
+	}
+	// The epoch's chunk has not been planned (or was invalidated by a
+	// dataset extension): plan it now. planChunk is idempotent per chunk.
+	start := (key.epoch / s.opts.ChunkEpochs) * s.opts.ChunkEpochs
+	if err := s.planChunk(start); err != nil {
+		return nil, err
+	}
+	// Best-effort checkpoint: recovery replans deterministically anyway.
+	_ = s.checkpointManifest()
+	s.mu.Lock()
+	samples, ok = s.schedule[key]
+	s.mu.Unlock()
+	if ok {
+		return samples, nil
+	}
+	return nil, fmt.Errorf("%w: iteration %v not in plan", vfs.ErrNotExist, key)
+}

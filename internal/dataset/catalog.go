@@ -1,0 +1,76 @@
+package dataset
+
+// Catalogs describing the paper's three evaluation datasets, scaled for
+// simulation. The simulator uses a catalog's statistics (video count,
+// resolution, duration, GOP) to derive preprocessing costs; the real
+// engine uses miniature in-memory instances generated with Miniature().
+
+// Catalog summarizes a dataset's cost-relevant statistics.
+type Catalog struct {
+	Name string
+	// VideoCount is the number of videos in the full dataset.
+	VideoCount int
+	// W, H, C are the decoded frame geometry.
+	W, H, C int
+	// MeanFrames is the average number of frames per video.
+	MeanFrames int
+	FPS        int
+	GOP        int
+	// EncodedBytesPerVideo approximates the on-disk compressed size.
+	EncodedBytesPerVideo int64
+}
+
+// RawBytesPerFrame returns the decoded size of one frame.
+func (c Catalog) RawBytesPerFrame() int64 {
+	return int64(c.W) * int64(c.H) * int64(c.C)
+}
+
+// RawBytes returns the decoded size of the entire dataset — for
+// Kinetics400 this lands near the ~80 TB figure the paper quotes.
+func (c Catalog) RawBytes() int64 {
+	return c.RawBytesPerFrame() * int64(c.MeanFrames) * int64(c.VideoCount)
+}
+
+// EncodedBytes returns the compressed size of the entire dataset.
+func (c Catalog) EncodedBytes() int64 {
+	return c.EncodedBytesPerVideo * int64(c.VideoCount)
+}
+
+// The three datasets from §7.1 of the paper.
+var (
+	// Kinetics400: 250k videos, up to 720p, ~10s at 30fps. The paper
+	// quotes ~350 GB encoded and ~80 TB as raw frames.
+	Kinetics400 = Catalog{
+		Name:       "kinetics-400",
+		VideoCount: 250000,
+		W:          1280, H: 720, C: 3,
+		MeanFrames: 300, FPS: 30, GOP: 30,
+		EncodedBytesPerVideo: 1_400_000, // ~350 GB / 250k videos
+	}
+	// HDVILA: 100k clips at 720p for video captioning.
+	HDVILA = Catalog{
+		Name:       "hd-vila",
+		VideoCount: 100000,
+		W:          1280, H: 720, C: 3,
+		MeanFrames: 400, FPS: 30, GOP: 30,
+		EncodedBytesPerVideo: 2_000_000,
+	}
+	// YouTube1080p: the curated super-resolution set of 1080p videos.
+	YouTube1080p = Catalog{
+		Name:       "youtube-1080p",
+		VideoCount: 5000,
+		W:          1920, H: 1080, C: 3,
+		MeanFrames: 600, FPS: 30, GOP: 30,
+		EncodedBytesPerVideo: 12_000_000,
+	}
+)
+
+// Miniature generates a small in-memory dataset with the catalog's shape
+// (GOP, fps, aspect) scaled down to the given geometry and count, suitable
+// for the real engine in tests and examples.
+func (c Catalog) Miniature(videos, w, h, frames int, seed int64) (*Dataset, error) {
+	return Generate(c.Name+"-mini", VideoSpec{
+		W: w, H: h, C: c.C,
+		Frames: frames, FPS: c.FPS, GOP: c.GOP,
+	}, videos, seed)
+}

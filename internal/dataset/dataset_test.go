@@ -1,0 +1,209 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sand/internal/codec"
+)
+
+func TestGenerateClipDeterministic(t *testing.T) {
+	spec := VideoSpec{W: 32, H: 24, C: 3, Frames: 10, FPS: 30, Seed: 99}
+	a, err := GenerateClip(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateClip(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Frames {
+		if !a.Frames[i].Equal(b.Frames[i]) {
+			t.Fatalf("same seed produced different frame %d", i)
+		}
+	}
+	spec.Seed = 100
+	c, _ := GenerateClip(spec)
+	same := true
+	for i := range a.Frames {
+		if !a.Frames[i].Equal(c.Frames[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical content")
+	}
+}
+
+func TestGenerateClipTemporalCoherence(t *testing.T) {
+	// Consecutive frames should differ (motion) but only in a minority of
+	// pixels (static background) — the property that makes P-frames cheap.
+	clip, err := GenerateClip(VideoSpec{W: 64, H: 48, C: 1, Frames: 5, FPS: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < clip.Len(); i++ {
+		diff := 0
+		a, b := clip.Frames[i-1], clip.Frames[i]
+		for j := range a.Pix {
+			if a.Pix[j] != b.Pix[j] {
+				diff++
+			}
+		}
+		if diff == 0 {
+			t.Fatalf("frames %d and %d identical; no motion", i-1, i)
+		}
+		if diff > len(a.Pix)/2 {
+			t.Fatalf("frames %d and %d differ in %d/%d pixels; background not static", i-1, i, diff, len(a.Pix))
+		}
+	}
+}
+
+func TestGenerateClipValidation(t *testing.T) {
+	if _, err := GenerateClip(VideoSpec{W: 0, H: 8, C: 1, Frames: 1}); err == nil {
+		t.Fatal("accepted zero width")
+	}
+	if _, err := GenerateClip(VideoSpec{W: 8, H: 8, C: 1, Frames: 0}); err == nil {
+		t.Fatal("accepted zero frames")
+	}
+}
+
+func TestGenerateVideoDecodes(t *testing.T) {
+	spec := VideoSpec{W: 32, H: 24, C: 3, Frames: 12, FPS: 30, GOP: 6, Seed: 3}
+	v, err := GenerateVideo(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.FrameCount != 12 || v.GOP != 6 {
+		t.Fatalf("video metadata %+v", v)
+	}
+	clip, _ := GenerateClip(spec)
+	out, err := codec.NewDecoder(v, nil).DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clip.Frames {
+		if !clip.Frames[i].Equal(out.Frames[i]) {
+			t.Fatalf("encoded video frame %d differs from generated clip", i)
+		}
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	ds, err := Generate("test", VideoSpec{W: 16, H: 16, C: 1, Frames: 16, FPS: 30, GOP: 8}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Videos) != 5 {
+		t.Fatalf("got %d videos", len(ds.Videos))
+	}
+	names := map[string]bool{}
+	for _, e := range ds.Videos {
+		if names[e.Spec.Name] {
+			t.Fatalf("duplicate name %s", e.Spec.Name)
+		}
+		names[e.Spec.Name] = true
+		if e.Spec.Label == "" {
+			t.Fatal("missing label")
+		}
+		if e.Video == nil {
+			t.Fatal("missing encoded video")
+		}
+	}
+	if ds.TotalEncodedBytes() <= 0 || ds.TotalRawBytes() <= ds.TotalEncodedBytes() {
+		t.Fatalf("byte accounting wrong: enc=%d raw=%d", ds.TotalEncodedBytes(), ds.TotalRawBytes())
+	}
+	if _, err := Generate("x", VideoSpec{W: 8, H: 8, C: 1, Frames: 4}, 0, 1); err == nil {
+		t.Fatal("accepted zero-video dataset")
+	}
+}
+
+func TestWriteAndLoadDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	ds, err := Generate("disk", VideoSpec{W: 16, H: 12, C: 3, Frames: 10, FPS: 30, GOP: 5}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Videos) != 3 {
+		t.Fatalf("loaded %d videos", len(loaded.Videos))
+	}
+	for i, e := range loaded.Videos {
+		orig := ds.Videos[i]
+		if e.Spec.Name != orig.Spec.Name {
+			t.Fatalf("video %d name %q != %q", i, e.Spec.Name, orig.Spec.Name)
+		}
+		if e.Spec.Label != orig.Spec.Label {
+			t.Fatalf("label lost: %q != %q", e.Spec.Label, orig.Spec.Label)
+		}
+		if e.Video.FrameCount != orig.Video.FrameCount {
+			t.Fatal("frame count mismatch after disk round trip")
+		}
+		// Decode a frame to prove payload integrity.
+		if _, err := codec.NewDecoder(e.Video, nil).Frame(0); err != nil {
+			t.Fatalf("decode after load: %v", err)
+		}
+	}
+	if _, ok := loaded.Find("video_0001"); !ok {
+		t.Fatal("Find failed")
+	}
+	if _, ok := loaded.Find("nope"); ok {
+		t.Fatal("Find found a ghost")
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir("/definitely/not/here"); err == nil {
+		t.Fatal("accepted missing dir")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil {
+		t.Fatal("accepted empty dir")
+	}
+	bad := t.TempDir()
+	os.WriteFile(filepath.Join(bad, "junk.tvc"), []byte("not a video"), 0o644)
+	if _, err := LoadDir(bad); err == nil {
+		t.Fatal("accepted corrupt video")
+	}
+}
+
+func TestCatalogArithmetic(t *testing.T) {
+	c := Kinetics400
+	if c.RawBytesPerFrame() != 1280*720*3 {
+		t.Fatal("raw bytes per frame")
+	}
+	// The paper quotes ~80 TB raw for Kinetics-400; our catalog should be
+	// in that ballpark (within 3x).
+	raw := c.RawBytes()
+	if raw < 60e12 || raw > 300e12 {
+		t.Fatalf("Kinetics400 raw bytes = %d, expected ~2e14 (paper: ~80 TB)", raw)
+	}
+	enc := c.EncodedBytes()
+	if enc < 200e9 || enc > 500e9 {
+		t.Fatalf("Kinetics400 encoded = %d, expected ~350 GB", enc)
+	}
+	if HDVILA.VideoCount != 100000 || YouTube1080p.W != 1920 {
+		t.Fatal("catalog constants drifted")
+	}
+}
+
+func TestCatalogMiniature(t *testing.T) {
+	ds, err := Kinetics400.Miniature(4, 32, 24, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Videos) != 4 {
+		t.Fatalf("got %d videos", len(ds.Videos))
+	}
+	if ds.Videos[0].Video.GOP != Kinetics400.GOP {
+		t.Fatal("miniature lost GOP structure")
+	}
+}

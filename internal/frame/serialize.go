@@ -1,0 +1,169 @@
+package frame
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization of frames and clips for the storage tier. The format is a
+// small header followed by zlib-compressed, row-predicted pixel data: each
+// row is delta-coded against the pixel to its left (Sub filter, as in PNG),
+// which makes smooth synthetic video compress well while staying lossless.
+
+const (
+	frameMagic   = 0x53464d31 // "SFM1"
+	clipMagic    = 0x53434c31 // "SCL1"
+	maxDimension = 1 << 16
+)
+
+// EncodeFrame serializes f losslessly.
+func EncodeFrame(f *Frame) ([]byte, error) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 28)
+	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(f.W))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(f.H))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(f.C))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(int32(f.Index)))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(f.PTS))
+	buf.Write(hdr)
+
+	zw := zlib.NewWriter(&buf)
+	filtered := make([]byte, f.W)
+	for c := 0; c < f.C; c++ {
+		plane := f.Plane(c)
+		for y := 0; y < f.H; y++ {
+			row := plane[y*f.W : (y+1)*f.W]
+			prev := byte(0)
+			for x, v := range row {
+				filtered[x] = v - prev
+				prev = v
+			}
+			if _, err := zw.Write(filtered); err != nil {
+				return nil, fmt.Errorf("frame: compress: %w", err)
+			}
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("frame: compress close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFrame reverses EncodeFrame.
+func DecodeFrame(data []byte) (*Frame, error) {
+	if len(data) < 28 {
+		return nil, fmt.Errorf("frame: truncated header (%d bytes)", len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != frameMagic {
+		return nil, fmt.Errorf("frame: bad magic %#x", binary.LittleEndian.Uint32(data[0:]))
+	}
+	w := int(binary.LittleEndian.Uint32(data[4:]))
+	h := int(binary.LittleEndian.Uint32(data[8:]))
+	c := int(binary.LittleEndian.Uint32(data[12:]))
+	idx := int(int32(binary.LittleEndian.Uint32(data[16:])))
+	pts := int64(binary.LittleEndian.Uint64(data[20:]))
+	if w <= 0 || h <= 0 || c <= 0 || w > maxDimension || h > maxDimension || c > 16 {
+		return nil, fmt.Errorf("frame: implausible geometry %dx%dx%d", w, h, c)
+	}
+	zr, err := zlib.NewReader(bytes.NewReader(data[28:]))
+	if err != nil {
+		return nil, fmt.Errorf("frame: decompress: %w", err)
+	}
+	defer zr.Close()
+	f := New(w, h, c)
+	f.Index, f.PTS = idx, pts
+	if _, err := io.ReadFull(zr, f.Pix); err != nil {
+		return nil, fmt.Errorf("frame: decompress payload: %w", err)
+	}
+	// Read to EOF so zlib verifies the trailing checksum; a truncated or
+	// corrupted stream must not round-trip silently.
+	if _, err := zr.Read(make([]byte, 1)); err != io.EOF {
+		return nil, fmt.Errorf("frame: trailing data or corrupt stream: %v", err)
+	}
+	// Undo the Sub filter.
+	for ch := 0; ch < c; ch++ {
+		plane := f.Plane(ch)
+		for y := 0; y < h; y++ {
+			row := plane[y*w : (y+1)*w]
+			prev := byte(0)
+			for x := range row {
+				row[x] += prev
+				prev = row[x]
+			}
+		}
+	}
+	return f, nil
+}
+
+// EncodeClip serializes every frame of a clip into one buffer.
+func EncodeClip(c *Clip) ([]byte, error) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:], clipMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(c.Frames)))
+	buf.Write(hdr)
+	for i, f := range c.Frames {
+		enc, err := EncodeFrame(f)
+		if err != nil {
+			return nil, fmt.Errorf("frame: clip frame %d: %w", i, err)
+		}
+		var sz [4]byte
+		binary.LittleEndian.PutUint32(sz[:], uint32(len(enc)))
+		buf.Write(sz[:])
+		buf.Write(enc)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeClip reverses EncodeClip.
+func DecodeClip(data []byte) (*Clip, error) {
+	if len(data) < 8 || binary.LittleEndian.Uint32(data[0:]) != clipMagic {
+		return nil, fmt.Errorf("frame: bad clip header")
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("frame: implausible clip length %d", n)
+	}
+	off := 8
+	frames := make([]*Frame, 0, n)
+	for i := 0; i < n; i++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("frame: clip truncated at frame %d", i)
+		}
+		sz := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+sz > len(data) {
+			return nil, fmt.Errorf("frame: clip frame %d payload truncated", i)
+		}
+		f, err := DecodeFrame(data[off : off+sz])
+		if err != nil {
+			return nil, fmt.Errorf("frame: clip frame %d: %w", i, err)
+		}
+		frames = append(frames, f)
+		off += sz
+	}
+	return NewClip(frames)
+}
+
+// PSNR computes peak signal-to-noise ratio between two same-shape frames.
+// Identical frames yield +Inf.
+func PSNR(a, b *Frame) (float64, error) {
+	if !a.SameShape(b) {
+		return 0, fmt.Errorf("frame: PSNR shape mismatch %dx%dx%d vs %dx%dx%d", a.W, a.H, a.C, b.W, b.H, b.C)
+	}
+	var sum float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		sum += d * d
+	}
+	if sum == 0 {
+		return math.Inf(1), nil
+	}
+	mse := sum / float64(len(a.Pix))
+	return 10 * math.Log10(255*255/mse), nil
+}

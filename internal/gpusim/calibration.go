@@ -1,0 +1,243 @@
+// Package gpusim models the hardware SAND's evaluation ran on — an A100
+// GPU with NVDEC, 12 paired vCPUs, local NVMe and cloud links — as a set
+// of calibrated analytic constants. Each constant cites the paper
+// measurement it encodes; the trainsim package combines them with the real
+// planner's outputs inside the discrete-event simulator.
+//
+// We deliberately model ratios, not absolute silicon speeds: the paper's
+// claims (and our reproduction targets) are relative — preprocessing vs
+// training time, SAND vs baseline, GPU busy vs stalled.
+package gpusim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Workload describes one of the paper's four evaluation models plus the
+// dataset shape it trains on (§7.1).
+type Workload struct {
+	Name string
+	// Dataset shape.
+	VideoW, VideoH int
+	FramesPerClip  int
+	FrameStride    int
+	// BatchClips is the per-GPU batch size with CPU-side preprocessing.
+	BatchClips int
+	// GPUStepSec is the A100 compute time of one training iteration at
+	// BatchClips.
+	GPUStepSec float64
+	// CPUPrepRatio is (CPU preprocessing latency of one batch on 12
+	// vCPUs) / GPUStepSec. Figure 2(a): 2.2x to 6.5x across workloads.
+	CPUPrepRatio float64
+	// GPUPrepRatio is (NVDEC+GPU preprocessing time of one batch) /
+	// GPUStepSec. Figure 2(a): 1.3x to 2.7x.
+	GPUPrepRatio float64
+	// DecodeFrac is the fraction of CPU preprocessing work spent in
+	// video decoding (the part SAND's reuse eliminates; the paper's
+	// energy analysis attributes "most" CPU overhead to decoding).
+	DecodeFrac float64
+	// GPUDecodeBatchClips is the reduced batch size when NVDEC output
+	// buffers share GPU memory with training. Figure 4: 24 -> 16 at
+	// 1080p, a 9.1% throughput loss.
+	GPUDecodeBatchClips int
+	// DatasetRawBytes is the decoded size of the full training dataset
+	// (the paper quotes ~83.5 TB for Kinetics-400), which bounds what a
+	// naive frame cache on a 3 TB SSD can hold.
+	DatasetRawBytes float64
+}
+
+// The four calibrated workloads. GPUStepSec values are representative
+// A100 step times; every figure reports ratios so only the *relative*
+// calibration matters. CPUPrepRatio/GPUPrepRatio spread across the
+// paper's measured ranges (2.2-6.5 and 1.3-2.7) with the heavier
+// workloads (super-resolution at 1080p) at the top.
+var (
+	// SlowFast action recognition on Kinetics-400 (720p).
+	SlowFast = Workload{
+		Name:   "SlowFast",
+		VideoW: 1280, VideoH: 720,
+		FramesPerClip: 32, FrameStride: 2,
+		BatchClips: 16, GPUStepSec: 0.42,
+		CPUPrepRatio: 2.4, GPUPrepRatio: 1.3,
+		DecodeFrac:          0.72,
+		GPUDecodeBatchClips: 14,
+		DatasetRawBytes:     83.5e12, // Kinetics-400 (§3: ~83.5 TB)
+	}
+	// MAE (VideoMAE) self-supervised pretraining on Kinetics-400.
+	MAE = Workload{
+		Name:   "MAE",
+		VideoW: 1280, VideoH: 720,
+		FramesPerClip: 16, FrameStride: 4,
+		BatchClips: 32, GPUStepSec: 0.35,
+		CPUPrepRatio: 3.3, GPUPrepRatio: 1.6,
+		DecodeFrac:          0.75,
+		GPUDecodeBatchClips: 28,
+		DatasetRawBytes:     83.5e12, // Kinetics-400
+	}
+	// HDVILA video captioning on the HD-VILA dataset.
+	HDVILA = Workload{
+		Name:   "HD-VILA",
+		VideoW: 1280, VideoH: 720,
+		FramesPerClip: 24, FrameStride: 2,
+		BatchClips: 24, GPUStepSec: 0.55,
+		CPUPrepRatio: 4.6, GPUPrepRatio: 2.1,
+		DecodeFrac:          0.78,
+		GPUDecodeBatchClips: 20,
+		DatasetRawBytes:     110e12, // HD-VILA: 100k clips at 720p
+	}
+	// BasicVSRpp video super-resolution on 1080p YouTube video.
+	BasicVSRpp = Workload{
+		Name:   "BasicVSR++",
+		VideoW: 1920, VideoH: 1080,
+		FramesPerClip: 14, FrameStride: 1,
+		BatchClips: 24, GPUStepSec: 0.62,
+		CPUPrepRatio: 6.5, GPUPrepRatio: 2.7,
+		DecodeFrac:          0.82,
+		GPUDecodeBatchClips: 16,    // Figure 4's 24 -> 16 measurement
+		DatasetRawBytes:     19e12, // curated 1080p YouTube set
+	}
+	// Workloads lists all four in the paper's presentation order.
+	Workloads = []Workload{SlowFast, MAE, HDVILA, BasicVSRpp}
+)
+
+// Cluster constants (§7.1: GCP A2 instances).
+const (
+	// VCPUsPerGPU is the vCPU count paired with each A100 (a2-highgpu).
+	VCPUsPerGPU = 12
+	// LocalSSDBytes is the per-node NVMe capacity the paper provisions.
+	LocalSSDBytes = 3 << 40 // 3 TB
+	// LocalSSDReadBps / LocalSSDWriteBps approximate NVMe throughput.
+	LocalSSDReadBps  = 2.0e9
+	LocalSSDWriteBps = 1.2e9
+	// FilestoreWANBps models the cross-network Filestore link of the
+	// distributed experiment (§7.1: dataset "connected via a WAN",
+	// reflecting cross-network enterprise data lakes). Calibrated so the
+	// on-demand baseline becomes WAN-bound at the ~5.2x slowdown Figure
+	// 14 measures for SlowFast across two nodes.
+	FilestoreWANBps = 50e6
+	// MultiJobCPUContention is the fractional per-extra-job inflation of
+	// CPU preprocessing work when several jobs share a node's vCPUs:
+	// video decoding is memory-bandwidth-bound, so co-located decode
+	// workers slow each other beyond simple core division. Calibrated
+	// against the gap between single-task (Figure 11) and
+	// hyperparameter-search (Figure 12) baseline degradations.
+	MultiJobCPUContention = 0.3
+)
+
+// Validate checks a workload's calibration against the paper's measured
+// ranges, so drift in the constants fails tests rather than silently
+// skewing figures.
+func (w Workload) Validate() error {
+	if w.CPUPrepRatio < 2.2 || w.CPUPrepRatio > 6.5 {
+		return fmt.Errorf("gpusim: %s CPUPrepRatio %.2f outside the paper's 2.2-6.5 range", w.Name, w.CPUPrepRatio)
+	}
+	if w.GPUPrepRatio < 1.3 || w.GPUPrepRatio > 2.7 {
+		return fmt.Errorf("gpusim: %s GPUPrepRatio %.2f outside the paper's 1.3-2.7 range", w.Name, w.GPUPrepRatio)
+	}
+	if w.GPUDecodeBatchClips >= w.BatchClips {
+		return fmt.Errorf("gpusim: %s GPU-decode batch %d must be below CPU-path batch %d (Figure 4)", w.Name, w.GPUDecodeBatchClips, w.BatchClips)
+	}
+	if w.DecodeFrac <= 0 || w.DecodeFrac >= 1 {
+		return fmt.Errorf("gpusim: %s DecodeFrac %.2f out of (0,1)", w.Name, w.DecodeFrac)
+	}
+	if w.GPUStepSec <= 0 || w.BatchClips <= 0 {
+		return fmt.Errorf("gpusim: %s needs positive step time and batch", w.Name)
+	}
+	if w.DatasetRawBytes <= float64(LocalSSDBytes) {
+		return fmt.Errorf("gpusim: %s dataset (%.0f bytes) must exceed local SSD (naive caching must be infeasible)", w.Name, w.DatasetRawBytes)
+	}
+	return nil
+}
+
+// CPUPrepWork returns the vCPU-seconds needed to preprocess one batch on
+// the CPU path: latency ratio x GPU step x pool size (latency is measured
+// with all 12 vCPUs preprocessing in parallel).
+func (w Workload) CPUPrepWork() float64 {
+	return w.CPUPrepRatio * w.GPUStepSec * VCPUsPerGPU
+}
+
+// CPUDecodeWork returns the decode share of CPUPrepWork.
+func (w Workload) CPUDecodeWork() float64 {
+	return w.CPUPrepWork() * w.DecodeFrac
+}
+
+// CPUAugWork returns the augmentation share of CPUPrepWork.
+func (w Workload) CPUAugWork() float64 {
+	return w.CPUPrepWork() * (1 - w.DecodeFrac)
+}
+
+// GPUPrepTime returns the GPU-seconds NVDEC+GPU preprocessing of one
+// batch occupies on the DALI-style path (it serializes with training on
+// the same device).
+func (w Workload) GPUPrepTime() float64 {
+	return w.GPUPrepRatio * w.GPUStepSec
+}
+
+// batchStepExponent models step time scaling T(B) = T0*(B/B0)^a: close
+// to linear, but small batches under-utilize the GPU slightly, so
+// throughput drops when memory pressure forces the batch down. The value
+// is calibrated so BasicVSR++'s 24 -> 16 reduction loses 9.1% throughput
+// (Figure 4).
+const batchStepExponent = 0.765
+
+// GPUDecodeThroughputPenalty returns the fractional throughput loss from
+// the reduced batch size on the GPU-decode path: 1 - (B'/B)^(1-a).
+func (w Workload) GPUDecodeThroughputPenalty() float64 {
+	ratio := float64(w.GPUDecodeBatchClips) / float64(w.BatchClips)
+	return 1 - math.Pow(ratio, 1-batchStepExponent)
+}
+
+// BytesPerClip returns the decoded bytes of one training clip before
+// augmentation (frames x W x H x 3).
+func (w Workload) BytesPerClip() float64 {
+	return float64(w.FramesPerClip) * float64(w.VideoW) * float64(w.VideoH) * 3
+}
+
+// EncodedBytesPerBatch approximates the compressed video bytes fetched to
+// assemble one batch (what the distributed baseline pulls over the WAN
+// every iteration). H.264-class compression at this quality runs ~50x
+// below raw.
+func (w Workload) EncodedBytesPerBatch() float64 {
+	return w.BytesPerClip() * float64(w.BatchClips) / 50 * 2 // 2x GOP overshoot
+}
+
+// NaiveCacheHitRate returns the fraction of decoded-frame accesses a
+// naive cache bounded by the local SSD can serve: with random frame
+// selection every epoch, the hit rate equals the cached fraction of the
+// decoded dataset (§7.2: "less than 4%" for Kinetics-400 on 3 TB).
+func (w Workload) NaiveCacheHitRate() float64 {
+	h := float64(LocalSSDBytes) / w.DatasetRawBytes
+	if h > 1 {
+		h = 1
+	}
+	return h
+}
+
+// TrainBatchBytes returns the serialized size of one final training batch
+// (cropped clips at the canonical 224x224 network input), which SAND's
+// feeding path reads from the local SSD each iteration.
+func (w Workload) TrainBatchBytes() float64 {
+	return float64(w.BatchClips) * float64(w.FramesPerClip) * 224 * 224 * 3
+}
+
+// BatchFeedSec returns the SSD read time of one pre-materialized batch —
+// the residual per-iteration overhead that keeps SAND 5-14% from ideal
+// (Figure 12's reported gap).
+func (w Workload) BatchFeedSec() float64 {
+	return w.TrainBatchBytes() / LocalSSDReadBps
+}
+
+// GPUDecodeStepSec returns the per-iteration training compute time at the
+// reduced (GPU-decode path) batch size: T(B') = T(B) * (B'/B)^a.
+func (w Workload) GPUDecodeStepSec() float64 {
+	ratio := float64(w.GPUDecodeBatchClips) / float64(w.BatchClips)
+	return w.GPUStepSec * math.Pow(ratio, batchStepExponent)
+}
+
+// GPUDecodePrepSec returns the per-iteration NVDEC+GPU preprocessing time
+// at the reduced batch: the calibrated GPUPrepRatio describes the
+// operating point, so prep = ratio x step at that batch.
+func (w Workload) GPUDecodePrepSec() float64 {
+	return w.GPUPrepRatio * w.GPUDecodeStepSec()
+}

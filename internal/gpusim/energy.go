@@ -1,0 +1,90 @@
+package gpusim
+
+// Energy model. Constants are calibrated so the aggregate behaviour
+// matches the paper's two energy measurements:
+//
+//   - CPU usage accounts for 41.6% of total energy during CPU-path VDL
+//     training, most of it decoding (Figure 5).
+//   - GPU-side (NVDEC) decoding consumes 2.6x more energy than CPU-based
+//     decoding of the same content (§3).
+
+// Power constants in watts.
+const (
+	// CPUCoreBusyWatts is the per-vCPU power while executing. With 12
+	// vCPUs saturated against a mostly-stalled A100, this yields a CPU
+	// energy share of ~42%, matching Figure 5's 41.6%.
+	CPUCoreBusyWatts = 10.0
+	// CPUCoreIdleWatts is the per-vCPU idle power.
+	CPUCoreIdleWatts = 2.0
+	// GPUTrainWatts is A100 power during training compute.
+	GPUTrainWatts = 400.0
+	// GPUPrepWatts is A100 power while running DALI-style GPU
+	// preprocessing (NVDEC streaming plus augmentation kernels — well
+	// below full training power).
+	GPUPrepWatts = 200.0
+	// GPUIdleWatts is A100 power while stalled waiting for data.
+	GPUIdleWatts = 65.0
+	// NVDECWatts is the extra draw of the hardware decoder while active.
+	NVDECWatts = 55.0
+	// NVDECGOPOvershoot models the hardware decoder reconstructing whole
+	// GOPs where the CPU path decodes selectively: extra frames decoded
+	// and discarded per random-access clip. Calibrated so the mean
+	// decode-energy ratio across workloads lands at the paper's 2.6x.
+	NVDECGOPOvershoot = 1.95
+)
+
+// EnergyBreakdown accumulates joules per component.
+type EnergyBreakdown struct {
+	CPUBusyJ  float64
+	CPUIdleJ  float64
+	GPUTrainJ float64
+	GPUPrepJ  float64
+	GPUIdleJ  float64
+	NVDECJ    float64
+}
+
+// Total returns total joules.
+func (e EnergyBreakdown) Total() float64 {
+	return e.CPUBusyJ + e.CPUIdleJ + e.GPUTrainJ + e.GPUPrepJ + e.GPUIdleJ + e.NVDECJ
+}
+
+// CPUShare returns the CPU fraction of total energy — the paper's 41.6%
+// statistic for the CPU-path pipeline.
+func (e EnergyBreakdown) CPUShare() float64 {
+	t := e.Total()
+	if t == 0 {
+		return 0
+	}
+	return (e.CPUBusyJ + e.CPUIdleJ) / t
+}
+
+// Accumulate adds component energies for an interval.
+//
+//	cpuBusySlotSec  vCPU-seconds spent executing
+//	cpuIdleSlotSec  vCPU-seconds spent idle
+//	gpuTrainSec     seconds of training compute
+//	gpuPrepSec      seconds of GPU-side preprocessing
+//	gpuIdleSec      seconds the GPU stalled
+//	nvdecSec        seconds NVDEC was active
+func (e *EnergyBreakdown) Accumulate(cpuBusySlotSec, cpuIdleSlotSec, gpuTrainSec, gpuPrepSec, gpuIdleSec, nvdecSec float64) {
+	e.CPUBusyJ += cpuBusySlotSec * CPUCoreBusyWatts
+	e.CPUIdleJ += cpuIdleSlotSec * CPUCoreIdleWatts
+	e.GPUTrainJ += gpuTrainSec * GPUTrainWatts
+	e.GPUPrepJ += gpuPrepSec * GPUPrepWatts
+	e.GPUIdleJ += gpuIdleSec * GPUIdleWatts
+	e.NVDECJ += nvdecSec * NVDECWatts
+}
+
+// DecodeEnergyRatio returns the GPU/CPU energy ratio for decoding the
+// same batch: NVDEC runs faster but the whole (mostly idle) GPU package
+// must stay powered while it does. The paper measures 2.6x.
+func DecodeEnergyRatio(w Workload) float64 {
+	// CPU decode: DecodeFrac of the CPU prep work at busy-core power.
+	cpuJ := w.CPUDecodeWork() * CPUCoreBusyWatts
+	// GPU decode: NVDEC is active across the GPU preprocessing window
+	// (codec dependencies keep it streaming), holding the whole package
+	// at preprocessing power, and it reconstructs entire GOPs where the
+	// CPU path stops at the frames it needs.
+	gpuJ := w.GPUPrepTime() * (NVDECWatts + GPUPrepWatts) * NVDECGOPOvershoot
+	return gpuJ / cpuJ
+}

@@ -1,0 +1,160 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWorkloadsValidate(t *testing.T) {
+	for _, w := range Workloads {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+	if len(Workloads) != 4 {
+		t.Fatalf("paper evaluates 4 workloads, have %d", len(Workloads))
+	}
+}
+
+func TestValidateCatchesDrift(t *testing.T) {
+	w := SlowFast
+	w.CPUPrepRatio = 10
+	if err := w.Validate(); err == nil {
+		t.Error("accepted CPUPrepRatio outside measured range")
+	}
+	w = SlowFast
+	w.GPUPrepRatio = 0.5
+	if err := w.Validate(); err == nil {
+		t.Error("accepted GPUPrepRatio outside measured range")
+	}
+	w = SlowFast
+	w.GPUDecodeBatchClips = w.BatchClips
+	if err := w.Validate(); err == nil {
+		t.Error("accepted no memory penalty")
+	}
+	w = SlowFast
+	w.DecodeFrac = 1.5
+	if err := w.Validate(); err == nil {
+		t.Error("accepted DecodeFrac > 1")
+	}
+	w = SlowFast
+	w.GPUStepSec = 0
+	if err := w.Validate(); err == nil {
+		t.Error("accepted zero step time")
+	}
+}
+
+func TestPrepRatiosSpanPaperRanges(t *testing.T) {
+	// Figure 2(a): the workload set spans 2.2-6.5x (CPU) and 1.3-2.7x
+	// (GPU); our calibration must cover most of those ranges, with
+	// BasicVSR++ at the top end (1080p super-resolution).
+	minCPU, maxCPU := math.Inf(1), math.Inf(-1)
+	minGPU, maxGPU := math.Inf(1), math.Inf(-1)
+	for _, w := range Workloads {
+		minCPU = math.Min(minCPU, w.CPUPrepRatio)
+		maxCPU = math.Max(maxCPU, w.CPUPrepRatio)
+		minGPU = math.Min(minGPU, w.GPUPrepRatio)
+		maxGPU = math.Max(maxGPU, w.GPUPrepRatio)
+	}
+	if minCPU > 2.5 || maxCPU < 6.0 {
+		t.Errorf("CPU prep ratios [%v,%v] do not span the paper's 2.2-6.5", minCPU, maxCPU)
+	}
+	if minGPU > 1.4 || maxGPU < 2.6 {
+		t.Errorf("GPU prep ratios [%v,%v] do not span the paper's 1.3-2.7", minGPU, maxGPU)
+	}
+	if BasicVSRpp.CPUPrepRatio != maxCPU {
+		t.Error("BasicVSR++ (1080p) should be the heaviest CPU-prep workload")
+	}
+}
+
+func TestWorkArithmetic(t *testing.T) {
+	w := SlowFast
+	if got := w.CPUPrepWork(); math.Abs(got-w.CPUPrepRatio*w.GPUStepSec*12) > 1e-9 {
+		t.Fatalf("CPUPrepWork = %v", got)
+	}
+	if math.Abs(w.CPUDecodeWork()+w.CPUAugWork()-w.CPUPrepWork()) > 1e-9 {
+		t.Fatal("decode + aug != total prep work")
+	}
+	if w.CPUDecodeWork() <= w.CPUAugWork() {
+		t.Fatal("decoding must dominate preprocessing cost")
+	}
+	if got := w.GPUPrepTime(); math.Abs(got-w.GPUPrepRatio*w.GPUStepSec) > 1e-9 {
+		t.Fatalf("GPUPrepTime = %v", got)
+	}
+}
+
+func TestFigure4ThroughputPenalty(t *testing.T) {
+	// Figure 4: BasicVSR++ at 1080p loses 9.1% throughput from the
+	// 24 -> 16 batch reduction. Allow calibration within ±1 point.
+	p := BasicVSRpp.GPUDecodeThroughputPenalty()
+	if p < 0.081 || p > 0.101 {
+		t.Fatalf("BasicVSR++ GPU-decode penalty = %.3f, paper measures 0.091", p)
+	}
+	// All workloads lose some throughput, none more than ~15%.
+	for _, w := range Workloads {
+		p := w.GPUDecodeThroughputPenalty()
+		if p <= 0 || p > 0.16 {
+			t.Errorf("%s penalty %.3f implausible", w.Name, p)
+		}
+	}
+}
+
+func TestBytesPerClip(t *testing.T) {
+	w := MAE
+	want := float64(16) * 1280 * 720 * 3
+	if got := w.BytesPerClip(); got != want {
+		t.Fatalf("BytesPerClip = %v, want %v", got, want)
+	}
+	if w.EncodedBytesPerBatch() >= w.BytesPerClip()*float64(w.BatchClips) {
+		t.Fatal("encoded batch bytes should be far below raw")
+	}
+}
+
+func TestEnergyBreakdown(t *testing.T) {
+	var e EnergyBreakdown
+	e.Accumulate(100, 20, 50, 10, 30, 10)
+	if e.CPUBusyJ != 100*CPUCoreBusyWatts || e.GPUTrainJ != 50*GPUTrainWatts {
+		t.Fatalf("accumulation wrong: %+v", e)
+	}
+	total := e.Total()
+	sum := e.CPUBusyJ + e.CPUIdleJ + e.GPUTrainJ + e.GPUPrepJ + e.GPUIdleJ + e.NVDECJ
+	if math.Abs(total-sum) > 1e-9 {
+		t.Fatal("Total != component sum")
+	}
+	if s := e.CPUShare(); s <= 0 || s >= 1 {
+		t.Fatalf("CPUShare = %v", s)
+	}
+	var zero EnergyBreakdown
+	if zero.CPUShare() != 0 {
+		t.Fatal("zero breakdown share")
+	}
+}
+
+func TestDecodeEnergyRatioNearPaper(t *testing.T) {
+	// §3: GPU decoding consumes 2.6x the energy of CPU decoding. Check
+	// the calibrated model lands near that for the mid-range workloads.
+	var sum float64
+	for _, w := range Workloads {
+		r := DecodeEnergyRatio(w)
+		if r < 1.2 || r > 4.5 {
+			t.Errorf("%s decode energy ratio %.2f implausible", w.Name, r)
+		}
+		sum += r
+	}
+	mean := sum / float64(len(Workloads))
+	if mean < 2.0 || mean > 3.2 {
+		t.Fatalf("mean decode energy ratio %.2f, paper measures 2.6", mean)
+	}
+}
+
+func TestClusterConstants(t *testing.T) {
+	if VCPUsPerGPU != 12 {
+		t.Fatal("paper pairs 12 vCPUs per A100")
+	}
+	if LocalSSDBytes != 3<<40 {
+		t.Fatal("paper provisions 3 TB NVMe")
+	}
+	if FilestoreWANBps >= LocalSSDReadBps {
+		t.Fatal("WAN must be slower than local NVMe")
+	}
+}

@@ -1,0 +1,320 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{12, 8, 4}, {8, 12, 4}, {7, 13, 1}, {0, 5, 5}, {5, 0, 5}, {6, 6, 6},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if GCDAll([]int{12, 8, 6}) != 2 {
+		t.Error("GCDAll wrong")
+	}
+	if GCDAll(nil) != 0 {
+		t.Error("GCDAll(nil) != 0")
+	}
+}
+
+func TestSamplingReqSpan(t *testing.T) {
+	r := SamplingReq{FramesPerVideo: 8, FrameStride: 4}
+	if r.Span() != 29 {
+		t.Fatalf("span = %d, want 29", r.Span())
+	}
+}
+
+func TestBuildFramePoolGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	reqs := []SamplingReq{
+		{Task: "a", FramesPerVideo: 8, FrameStride: 4, SamplesPerVideo: 1},
+		{Task: "b", FramesPerVideo: 8, FrameStride: 2, SamplesPerVideo: 1},
+	}
+	fp, err := BuildFramePool(reqs, PoolParams{VideoFrames: 300}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.GridStride != 2 {
+		t.Fatalf("grid = %d, want GCD(4,2)=2", fp.GridStride)
+	}
+	if fp.MaxSpan != 29 {
+		t.Fatalf("max span = %d, want 29", fp.MaxSpan)
+	}
+	// All indices on the grid, ascending, within the video.
+	for i, f := range fp.Indices {
+		if f < 0 || f >= 300 {
+			t.Fatalf("index %d out of video", f)
+		}
+		if (f-fp.Start)%fp.GridStride != 0 {
+			t.Fatalf("index %d off grid", f)
+		}
+		if i > 0 && f <= fp.Indices[i-1] {
+			t.Fatal("indices not ascending")
+		}
+		if !fp.Contains(f) {
+			t.Fatalf("pool does not Contain its own index %d", f)
+		}
+	}
+	if fp.Contains(fp.Start + 1) {
+		t.Fatal("Contains accepted off-grid frame")
+	}
+}
+
+func TestBuildFramePoolErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := BuildFramePool(nil, PoolParams{VideoFrames: 10}, rng); err == nil {
+		t.Fatal("accepted empty reqs")
+	}
+	if _, err := BuildFramePool([]SamplingReq{{FramesPerVideo: 0, FrameStride: 1}}, PoolParams{VideoFrames: 10}, rng); err == nil {
+		t.Fatal("accepted zero frames per video")
+	}
+	if _, err := BuildFramePool([]SamplingReq{{FramesPerVideo: 2, FrameStride: 1}}, PoolParams{}, rng); err == nil {
+		t.Fatal("accepted zero-length video")
+	}
+}
+
+func TestPoolDrawInsidePool(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	reqs := []SamplingReq{
+		{Task: "a", FramesPerVideo: 8, FrameStride: 4},
+		{Task: "b", FramesPerVideo: 16, FrameStride: 2},
+	}
+	fp, err := BuildFramePool(reqs, PoolParams{VideoFrames: 300, SlackClips: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		for _, r := range reqs {
+			clip := fp.Draw(r, rng)
+			if len(clip) != r.FramesPerVideo {
+				t.Fatalf("trial %d task %s: drew %d frames, want %d", trial, r.Task, len(clip), r.FramesPerVideo)
+			}
+			for i, f := range clip {
+				if !fp.Contains(f) {
+					t.Fatalf("drawn frame %d outside pool", f)
+				}
+				if i > 0 && f-clip[i-1] != r.FrameStride {
+					t.Fatalf("stride violated: %v", clip)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolDrawRandomness(t *testing.T) {
+	// Different draws must produce different starts (temporal randomness
+	// within the pool).
+	rng := rand.New(rand.NewSource(4))
+	reqs := []SamplingReq{{Task: "a", FramesPerVideo: 4, FrameStride: 2}}
+	fp, err := BuildFramePool(reqs, PoolParams{VideoFrames: 300, SlackClips: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := map[int]int{}
+	for i := 0; i < 300; i++ {
+		clip := fp.Draw(reqs[0], rng)
+		starts[clip[0]]++
+	}
+	if len(starts) < 5 {
+		t.Fatalf("only %d distinct starts over 300 draws", len(starts))
+	}
+}
+
+func TestPoolPlacementRandomAcrossVideosEpochs(t *testing.T) {
+	// Pool placement (the chunk-level temporal randomness) must vary.
+	reqs := []SamplingReq{{Task: "a", FramesPerVideo: 8, FrameStride: 2}}
+	rng := rand.New(rand.NewSource(5))
+	starts := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		fp, err := BuildFramePool(reqs, PoolParams{VideoFrames: 300}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts[fp.Start] = true
+	}
+	if len(starts) < 20 {
+		t.Fatalf("pool placement not random: %d distinct starts", len(starts))
+	}
+}
+
+func TestPoolShortVideo(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	reqs := []SamplingReq{{Task: "a", FramesPerVideo: 8, FrameStride: 4}} // span 29
+	fp, err := BuildFramePool(reqs, PoolParams{VideoFrames: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := fp.Draw(reqs[0], rng)
+	if len(clip) == 0 {
+		t.Fatal("short video drew nothing")
+	}
+	for _, f := range clip {
+		if f >= 10 {
+			t.Fatalf("frame %d beyond short video", f)
+		}
+	}
+}
+
+func TestUncoordinatedDraw(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := SamplingReq{FramesPerVideo: 8, FrameStride: 4}
+	starts := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		clip := UncoordinatedDraw(r, 300, rng)
+		if len(clip) != 8 {
+			t.Fatalf("drew %d frames", len(clip))
+		}
+		for j := 1; j < len(clip); j++ {
+			if clip[j]-clip[j-1] != 4 {
+				t.Fatal("stride violated")
+			}
+		}
+		if clip[7] >= 300 {
+			t.Fatal("frame beyond video")
+		}
+		starts[clip[0]] = true
+	}
+	if len(starts) < 50 {
+		t.Fatalf("uncoordinated draw not random: %d distinct starts", len(starts))
+	}
+	// Short video truncates.
+	short := UncoordinatedDraw(r, 10, rng)
+	if len(short) == 0 || short[len(short)-1] >= 10 {
+		t.Fatalf("short video draw wrong: %v", short)
+	}
+}
+
+func TestBuildCropWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	reqs := []CropReq{{Task: "a", W: 224, H: 224}, {Task: "b", W: 112, H: 160}}
+	w, err := BuildCropWindow(reqs, 320, 256, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.W != 224 || w.H != 224 {
+		t.Fatalf("window %dx%d, want max dims 224x224", w.W, w.H)
+	}
+	if w.X < 0 || w.Y < 0 || w.X+w.W > 320 || w.Y+w.H > 256 {
+		t.Fatalf("window %+v outside source", w)
+	}
+}
+
+func TestBuildCropWindowErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if _, err := BuildCropWindow(nil, 100, 100, rng); err == nil {
+		t.Fatal("accepted empty reqs")
+	}
+	if _, err := BuildCropWindow([]CropReq{{W: 0, H: 5}}, 100, 100, rng); err == nil {
+		t.Fatal("accepted zero crop")
+	}
+	if _, err := BuildCropWindow([]CropReq{{W: 500, H: 5}}, 100, 100, rng); err == nil {
+		t.Fatal("accepted crop larger than source")
+	}
+}
+
+func TestCropWindowPlacementRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	reqs := []CropReq{{Task: "a", W: 50, H: 50}}
+	positions := map[[2]int]bool{}
+	for i := 0; i < 200; i++ {
+		w, err := BuildCropWindow(reqs, 300, 300, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		positions[[2]int{w.X, w.Y}] = true
+	}
+	if len(positions) < 50 {
+		t.Fatalf("window placement not random: %d positions", len(positions))
+	}
+}
+
+func TestSubCropInsideWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	win := CropWindow{X: 40, Y: 60, W: 224, H: 224}
+	for i := 0; i < 200; i++ {
+		sub, err := win.SubCrop(112, 96, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.X < win.X || sub.Y < win.Y || sub.X+sub.W > win.X+win.W || sub.Y+sub.H > win.Y+win.H {
+			t.Fatalf("sub-crop %+v escapes window %+v", sub, win)
+		}
+		if sub.W != 112 || sub.H != 96 {
+			t.Fatalf("sub-crop size %dx%d", sub.W, sub.H)
+		}
+	}
+	if _, err := win.SubCrop(300, 96, rng); err == nil {
+		t.Fatal("accepted sub-crop larger than window")
+	}
+}
+
+func TestSubCropEqualSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	win := CropWindow{X: 10, Y: 20, W: 100, H: 100}
+	sub, err := win.SubCrop(100, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != win {
+		t.Fatalf("full-size sub-crop %+v != window %+v", sub, win)
+	}
+}
+
+// Property: for any set of requirements, every task's draw always lies on
+// the GCD grid and inside the pool.
+func TestQuickPoolDrawsOnGrid(t *testing.T) {
+	f := func(seed int64, s1Raw, s2Raw, f1Raw, f2Raw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs := []SamplingReq{
+			{Task: "a", FramesPerVideo: int(f1Raw%6) + 2, FrameStride: int(s1Raw%6) + 1},
+			{Task: "b", FramesPerVideo: int(f2Raw%6) + 2, FrameStride: int(s2Raw%6) + 1},
+		}
+		fp, err := BuildFramePool(reqs, PoolParams{VideoFrames: 200, SlackClips: 1}, rng)
+		if err != nil {
+			return false
+		}
+		for _, r := range reqs {
+			clip := fp.Draw(r, rng)
+			for _, fr := range clip {
+				if !fp.Contains(fr) || (fr-fp.Start)%fp.GridStride != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the marginal distribution of drawn starts is roughly uniform
+// over the legal start positions (randomness preservation, Figure 20's
+// precondition).
+func TestPoolDrawUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	reqs := []SamplingReq{{Task: "a", FramesPerVideo: 4, FrameStride: 2}} // span 7
+	fp, err := BuildFramePool(reqs, PoolParams{VideoFrames: 300, SlackClips: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	const draws = 6000
+	for i := 0; i < draws; i++ {
+		counts[fp.Draw(reqs[0], rng)[0]]++
+	}
+	// Chi-square-ish check: every legal start should appear, with no
+	// start more than 3x the mean.
+	mean := float64(draws) / float64(len(counts))
+	for start, c := range counts {
+		if float64(c) > 3*mean || float64(c) < mean/3 {
+			t.Fatalf("start %d drawn %d times, mean %.1f — not uniform", start, c, mean)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements Algorithm 1 of the paper: greedy bottom-up pruning
+// of the concrete object dependency graph until the cached set fits a
+// storage budget. Starting from all leaves cached, the pruner repeatedly
+// picks the parent-of-leaves whose subtree has the smallest recompute
+// weight and, when caching the parent instead of its cached descendants
+// saves space, collapses the subtree into that parent.
+
+// PruneResult summarizes a pruning run.
+type PruneResult struct {
+	// InitialBytes is the cached footprint before pruning (all leaves).
+	InitialBytes int64
+	// FinalBytes is the cached footprint after pruning.
+	FinalBytes int64
+	// Budget echoes the requested budget.
+	Budget int64
+	// Fits reports whether FinalBytes <= Budget.
+	Fits bool
+	// Collapses counts subtree collapse operations performed.
+	Collapses int
+	// AddedRecompute is the extra per-access preprocessing work the
+	// pruned plan incurs vs. the all-leaves plan.
+	AddedRecompute float64
+}
+
+// pruneCandidates returns the non-cached nodes that have at least one
+// cached strict descendant — the generalized "parents of leaves" of
+// Algorithm 1. Collapsing such a node replaces every cached object in its
+// subtree with the node itself. The root (the source video, size 0) is
+// always a candidate while anything below it is cached, which gives every
+// video an on-demand fallback when nothing cheaper fits the budget.
+func pruneCandidates(g *ConcreteGraph) []*Node {
+	var out []*Node
+	var walk func(n *Node) bool // returns "subtree contains a cached node"
+	walk = func(n *Node) bool {
+		any := false
+		for _, c := range n.Children {
+			if walk(c) || c.Cached {
+				any = true
+			}
+		}
+		if any && !n.Cached {
+			out = append(out, n)
+		}
+		return any || n.Cached
+	}
+	walk(g.Root)
+	return out
+}
+
+// subtreeCachedSize sums the sizes of cached nodes under n.
+func subtreeCachedSize(n *Node) int64 {
+	var sum int64
+	for _, c := range n.Children {
+		if c.Cached {
+			sum += c.Size()
+		}
+		sum += subtreeCachedSize(c)
+	}
+	return sum
+}
+
+// collapseSubtree uncaches every cached descendant of n and caches n
+// itself — the Prune-Subtree step of Algorithm 1.
+func collapseSubtree(n *Node) {
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		for _, c := range m.Children {
+			c.Cached = false
+			walk(c)
+		}
+	}
+	walk(n)
+	n.Cached = true
+}
+
+// PruneGraph performs one step of Algorithm 1's Prune-Graph on a single
+// video's graph: gather parents of cached leaves, order them by subtree
+// weight (ascending — least added recomputation first), and collapse the
+// first candidate whose replacement saves space. It returns the bytes
+// saved, or 0 when no candidate helps.
+func PruneGraph(g *ConcreteGraph) int64 {
+	cands := pruneCandidates(g)
+	if len(cands) == 0 {
+		return 0
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		wi, wj := cands[i].SubtreeWeight(), cands[j].SubtreeWeight()
+		if wi != wj {
+			return wi < wj
+		}
+		// Deterministic tie-break on identity-ish fields.
+		if cands[i].FrameIdx != cands[j].FrameIdx {
+			return cands[i].FrameIdx < cands[j].FrameIdx
+		}
+		return cands[i].Sig < cands[j].Sig
+	})
+	for _, p := range cands {
+		reduced := subtreeCachedSize(p) - p.Size()
+		if reduced > 0 {
+			collapseSubtree(p)
+			return reduced
+		}
+	}
+	return 0
+}
+
+// PruneToBudget runs the outer loop of Algorithm 1 across all per-video
+// graphs: round-robin pruning until the total cached footprint fits the
+// budget or no graph can be pruned further.
+func PruneToBudget(graphs []*ConcreteGraph, budget int64) (PruneResult, error) {
+	if budget < 0 {
+		return PruneResult{}, fmt.Errorf("graph: negative budget %d", budget)
+	}
+	res := PruneResult{Budget: budget}
+	var before float64
+	for _, g := range graphs {
+		res.InitialBytes += g.CachedBytes()
+		before += g.RecomputeCost()
+	}
+	dataSize := res.InitialBytes
+	for dataSize > budget {
+		progressed := false
+		for _, g := range graphs {
+			saved := PruneGraph(g)
+			if saved > 0 {
+				dataSize -= saved
+				res.Collapses++
+				progressed = true
+			}
+			if dataSize <= budget {
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	res.FinalBytes = dataSize
+	res.Fits = dataSize <= budget
+	var after float64
+	for _, g := range graphs {
+		after += g.RecomputeCost()
+	}
+	res.AddedRecompute = after - before
+	// Cross-check the incremental accounting against a full recount;
+	// divergence indicates a bug in collapse bookkeeping.
+	var recount int64
+	for _, g := range graphs {
+		recount += g.CachedBytes()
+	}
+	if recount != dataSize {
+		return res, fmt.Errorf("graph: prune accounting drift: incremental=%d recount=%d", dataSize, recount)
+	}
+	return res, nil
+}
+
+// PrunePlan applies PruneToBudget to every graph in a chunk plan.
+func PrunePlan(p *ChunkPlan, budget int64) (PruneResult, error) {
+	graphs := make([]*ConcreteGraph, 0, len(p.Graphs))
+	// Deterministic order for reproducibility.
+	names := make([]string, 0, len(p.Graphs))
+	for name := range p.Graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		graphs = append(graphs, p.Graphs[name])
+	}
+	return PruneToBudget(graphs, budget)
+}

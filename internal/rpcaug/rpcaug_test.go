@@ -1,0 +1,249 @@
+package rpcaug
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"sand/internal/augment"
+	"sand/internal/frame"
+)
+
+func testClip(t testing.TB, n, w, h, c int) *frame.Clip {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	frames := make([]*frame.Frame, n)
+	for i := range frames {
+		f := frame.New(w, h, c)
+		rng.Read(f.Pix)
+		f.Index = i
+		frames[i] = f
+	}
+	clip, err := frame.NewClip(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clip
+}
+
+// invert is a sample custom transform: per-pixel negation.
+func invert(clip *frame.Clip, _ map[string]string) (*frame.Clip, error) {
+	out := clip.Clone()
+	for _, f := range out.Frames {
+		for i := range f.Pix {
+			f.Pix[i] = 255 - f.Pix[i]
+		}
+	}
+	return out, nil
+}
+
+// threshold binarizes pixels at a parameterized cutoff.
+func threshold(clip *frame.Clip, params map[string]string) (*frame.Clip, error) {
+	cut, err := strconv.Atoi(params["cutoff"])
+	if err != nil {
+		return nil, fmt.Errorf("threshold: bad cutoff: %w", err)
+	}
+	out := clip.Clone()
+	for _, f := range out.Frames {
+		for i := range f.Pix {
+			if int(f.Pix[i]) >= cut {
+				f.Pix[i] = 255
+			} else {
+				f.Pix[i] = 0
+			}
+		}
+	}
+	return out, nil
+}
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer()
+	if err := srv.Register("invert", invert); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("threshold", threshold); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Serve("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func TestRegisterValidation(t *testing.T) {
+	srv := NewServer()
+	if err := srv.Register("", invert); err == nil {
+		t.Fatal("accepted empty name")
+	}
+	if err := srv.Register("x", nil); err == nil {
+		t.Fatal("accepted nil func")
+	}
+	if err := srv.Register("x", invert); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("x", invert); err == nil {
+		t.Fatal("accepted duplicate")
+	}
+}
+
+func TestRemoteApply(t *testing.T) {
+	srv, addr := startServer(t)
+	client, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	clip := testClip(t, 3, 8, 8, 3)
+	out, err := client.Apply("invert", clip, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range out.Frames {
+		for p := range f.Pix {
+			if f.Pix[p] != 255-clip.Frames[i].Pix[p] {
+				t.Fatalf("pixel %d of frame %d not inverted", p, i)
+			}
+		}
+	}
+	if srv.Calls("invert") != 1 {
+		t.Fatalf("server counted %d calls", srv.Calls("invert"))
+	}
+	// Input clip untouched (immutability contract).
+	if clip.Frames[0].Pix[0] == out.Frames[0].Pix[0] && clip.Frames[0].Pix[0] != 128 {
+		t.Fatal("input mutated or transform was identity")
+	}
+}
+
+func TestRemoteApplyWithParams(t *testing.T) {
+	_, addr := startServer(t)
+	client, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	clip := testClip(t, 1, 4, 4, 1)
+	out, err := client.Apply("threshold", clip, map[string]string{"cutoff": "128"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out.Frames[0].Pix {
+		if v != 0 && v != 255 {
+			t.Fatalf("threshold output %d not binary", v)
+		}
+	}
+	// Bad params surface as errors.
+	if _, err := client.Apply("threshold", clip, map[string]string{"cutoff": "nope"}); err == nil {
+		t.Fatal("accepted bad params")
+	}
+}
+
+func TestUnknownTransform(t *testing.T) {
+	_, addr := startServer(t)
+	client, _ := Dial("tcp", addr)
+	defer client.Close()
+	if _, err := client.Apply("ghost", testClip(t, 1, 4, 4, 1), nil); err == nil {
+		t.Fatal("accepted unknown transform")
+	}
+}
+
+func TestList(t *testing.T) {
+	_, addr := startServer(t)
+	client, _ := Dial("tcp", addr)
+	defer client.Close()
+	names, err := client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "invert" || names[1] != "threshold" {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("tcp", "127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestRemoteOpInPipeline(t *testing.T) {
+	_, addr := startServer(t)
+	client, _ := Dial("tcp", addr)
+	defer client.Close()
+	op := &RemoteOp{Client: client, Transform: "invert"}
+	p := augment.Pipeline{
+		&augment.Resize{W: 4, H: 4},
+		op,
+	}
+	if !p.Deterministic() {
+		t.Fatal("remote op should count as deterministic")
+	}
+	clip := testClip(t, 2, 8, 8, 1)
+	out, err := p.Apply(clip, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h, _ := out.Geometry()
+	if w != 4 || h != 4 {
+		t.Fatalf("pipeline geometry %dx%d", w, h)
+	}
+	if op.Name() != "rpc:invert" {
+		t.Fatalf("op name %q", op.Name())
+	}
+}
+
+func TestRemoteOpSignature(t *testing.T) {
+	op := &RemoteOp{Transform: "thresh", Params: map[string]string{"b": "2", "a": "1"}}
+	sig := op.Signature()
+	if sig != "rpc:thresh(a=1,b=2)" {
+		t.Fatalf("signature %q not canonical", sig)
+	}
+	if !strings.HasPrefix(sig, "rpc:") {
+		t.Fatal("signature must be namespaced")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, addr := startServer(t)
+	clip := testClip(t, 2, 8, 8, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := Dial("tcp", addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer client.Close()
+			for i := 0; i < 10; i++ {
+				if _, err := client.Apply("invert", clip, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if srv.Calls("invert") != 40 {
+		t.Fatalf("server counted %d calls, want 40", srv.Calls("invert"))
+	}
+}
+
+func TestServeBadAddress(t *testing.T) {
+	srv := NewServer()
+	if _, err := srv.Serve("tcp", "256.256.256.256:0"); err == nil {
+		t.Fatal("accepted bad address")
+	}
+	// Close on an unserved server is a no-op.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package sched implements SAND's priority-based materialization
+// scheduling (§5.4 of the paper). A pool of worker goroutines (standing in
+// for the paper's preprocessing threads) executes two kinds of tasks:
+//
+//   - Demand-feeding tasks — producing the batch the GPU is waiting for —
+//     always run before any pre-materialization work.
+//   - Pre-materialization tasks are ordered earliest-deadline-first
+//     (deadline = iterations until the object is needed), so lagging work
+//     is boosted automatically. When memory pressure exceeds
+//     MemoryPressureThreshold, ordering switches to shortest-job-first
+//     (fewest unprocessed edges), draining almost-finished subtrees to
+//     release their pinned decoded frames.
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes the two worker-task classes.
+type Kind int
+
+const (
+	// Demand tasks feed the current iteration; they preempt all
+	// pre-materialization.
+	Demand Kind = iota
+	// Premat tasks materialize objects for future iterations.
+	Premat
+)
+
+// MemoryPressureThreshold is the memory fill fraction above which the
+// scheduler switches pre-materialization ordering to SJF (the paper's
+// 80%).
+const MemoryPressureThreshold = 0.80
+
+// Task is one schedulable unit of materialization work.
+type Task struct {
+	// Key identifies the task (for logs and tests).
+	Key string
+	// Kind selects the priority class.
+	Kind Kind
+	// Deadline is the number of iterations until the produced object is
+	// consumed; smaller = more urgent (EDF).
+	Deadline int64
+	// Remaining is the unprocessed-edge count of the task's subtree
+	// (SJF key; smaller = shorter job).
+	Remaining int
+	// Run performs the work.
+	Run func() error
+
+	// bookkeeping
+	seq  uint64
+	done atomic.Bool
+	edf  int // index in EDF heap, -1 when popped
+	sjf  int // index in SJF heap
+}
+
+// Stats reports scheduler counters.
+type Stats struct {
+	Completed     int64
+	Errors        int64
+	DemandRuns    int64
+	PrematRuns    int64
+	SJFDecisions  int64
+	EDFDecisions  int64
+	MaxQueueDepth int
+}
+
+// Pool is the worker pool. Create with NewPool, submit with Submit, stop
+// with Close (which drains the queue) or Abort (which discards it).
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	demand  []*Task // FIFO
+	edfHeap taskHeap
+	sjfHeap taskHeap
+	seq     uint64
+
+	pressure func() float64
+	onError  func(*Task, error)
+
+	closed   bool
+	draining bool
+	queued   int // live (unclaimed) tasks across demand + premat
+	wg       sync.WaitGroup
+	stats    Stats
+}
+
+// Options configures a pool.
+type Options struct {
+	// Workers is the number of worker goroutines (the paper's thread
+	// pool; 12 vCPUs in the evaluation).
+	Workers int
+	// MemPressure returns the current memory fill fraction in [0,1];
+	// nil means no pressure (always EDF).
+	MemPressure func() float64
+	// OnError is called when a task's Run returns an error; nil ignores
+	// errors beyond counting them.
+	OnError func(*Task, error)
+}
+
+// NewPool starts the workers.
+func NewPool(opts Options) (*Pool, error) {
+	if opts.Workers <= 0 {
+		return nil, fmt.Errorf("sched: need at least one worker")
+	}
+	p := &Pool{pressure: opts.MemPressure, onError: opts.OnError}
+	p.cond = sync.NewCond(&p.mu)
+	p.edfHeap = taskHeap{less: func(a, b *Task) bool {
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+		return a.seq < b.seq
+	}, set: func(t *Task, i int) { t.edf = i }}
+	p.sjfHeap = taskHeap{less: func(a, b *Task) bool {
+		if a.Remaining != b.Remaining {
+			return a.Remaining < b.Remaining
+		}
+		return a.seq < b.seq
+	}, set: func(t *Task, i int) { t.sjf = i }}
+	for i := 0; i < opts.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p, nil
+}
+
+// ErrClosed is returned by Submit after Close/Abort.
+var ErrClosed = errors.New("sched: pool closed")
+
+// Submit enqueues a task.
+func (p *Pool) Submit(t *Task) error {
+	if t == nil || t.Run == nil {
+		return fmt.Errorf("sched: task needs a Run function")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.draining {
+		return ErrClosed
+	}
+	t.seq = p.seq
+	p.seq++
+	switch t.Kind {
+	case Demand:
+		p.demand = append(p.demand, t)
+	case Premat:
+		heap.Push(&p.edfHeap, t)
+		heap.Push(&p.sjfHeap, t)
+	default:
+		return fmt.Errorf("sched: unknown task kind %d", t.Kind)
+	}
+	p.queued++
+	if depth := p.queueDepthLocked(); depth > p.stats.MaxQueueDepth {
+		p.stats.MaxQueueDepth = depth
+	}
+	p.cond.Signal()
+	return nil
+}
+
+func (p *Pool) queueDepthLocked() int {
+	return p.queued
+}
+
+// next pops the highest-priority runnable task; blocks until one exists
+// or the pool shuts down. Returns nil on shutdown.
+func (p *Pool) next() *Task {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		// Demand first, FIFO.
+		if len(p.demand) > 0 {
+			t := p.demand[0]
+			p.demand = p.demand[1:]
+			p.queued--
+			p.stats.DemandRuns++
+			return t
+		}
+		// Then pre-materialization under the current policy. A task
+		// lives in both heaps; whichever heap it is claimed from first
+		// wins (done flag), and the twin's copy becomes a tombstone that
+		// later pops skip.
+		useSJF := p.pressure != nil && p.pressure() > MemoryPressureThreshold
+		pop := func(h *taskHeap) *Task {
+			for h.Len() > 0 {
+				t := heap.Pop(h).(*Task)
+				if !t.done.Swap(true) {
+					return t
+				}
+			}
+			return nil
+		}
+		primary, secondary := &p.edfHeap, &p.sjfHeap
+		if useSJF {
+			primary, secondary = &p.sjfHeap, &p.edfHeap
+		}
+		t := pop(primary)
+		if t == nil {
+			t = pop(secondary) // drain stragglers regardless of policy
+		}
+		if t != nil {
+			p.queued--
+			if useSJF {
+				p.stats.SJFDecisions++
+			} else {
+				p.stats.EDFDecisions++
+			}
+			p.stats.PrematRuns++
+			return t
+		}
+		if p.closed {
+			return nil
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		t := p.next()
+		if t == nil {
+			return
+		}
+		err := t.Run()
+		p.mu.Lock()
+		p.stats.Completed++
+		if err != nil {
+			p.stats.Errors++
+		}
+		// Wake anyone draining in Close as well as idle workers.
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		if err != nil && p.onError != nil {
+			p.onError(t, err)
+		}
+	}
+}
+
+// Close stops accepting tasks, waits for queued work to drain, then
+// returns. Tasks submitted after Close begins are rejected with
+// ErrClosed, including submissions from running tasks.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.draining = true
+	for p.queueDepthLocked() > 0 {
+		p.cond.Wait() // workers broadcast after each completion
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Abort stops accepting tasks and discards the queue without running it.
+func (p *Pool) Abort() {
+	p.mu.Lock()
+	p.closed = true
+	p.demand = nil
+	p.edfHeap.items = nil
+	p.sjfHeap.items = nil
+	p.queued = 0
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// QueueDepth returns the number of queued (not yet running) tasks.
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queueDepthLocked()
+}
+
+// taskHeap is a heap of *Task with a configurable comparison and an index
+// callback (so tasks can live in two heaps at once).
+type taskHeap struct {
+	items []*Task
+	less  func(a, b *Task) bool
+	set   func(t *Task, i int)
+}
+
+func (h *taskHeap) Len() int           { return len(h.items) }
+func (h *taskHeap) Less(i, j int) bool { return h.less(h.items[i], h.items[j]) }
+func (h *taskHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.set(h.items[i], i)
+	h.set(h.items[j], j)
+}
+func (h *taskHeap) Push(x any) {
+	t := x.(*Task)
+	h.set(t, len(h.items))
+	h.items = append(h.items, t)
+}
+func (h *taskHeap) Pop() any {
+	n := len(h.items)
+	t := h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	h.set(t, -1)
+	return t
+}

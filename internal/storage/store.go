@@ -1,0 +1,377 @@
+// Package storage implements SAND's training-object store (§6 of the
+// paper): a two-tier cache (memory + disk) with exact byte accounting, a
+// 75%-threshold eviction policy (used-and-unneeded objects first, then
+// longest-deadline objects), lossless compression for persisted frames,
+// and crash recovery by scanning previously persisted objects.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Object is one materialized training object: the serialized bytes of a
+// frame, augmented frame or assembled sample, plus scheduling metadata.
+type Object struct {
+	// Key is the object's unique path-like identifier (Table 1 scheme).
+	Key string
+	// Data is the serialized payload.
+	Data []byte
+	// Deadline is the iteration by which the object is needed; lower is
+	// more urgent. Used by the eviction policy.
+	Deadline int64
+	// Used marks that the object has been consumed at least once.
+	Used bool
+	// Ephemeral objects will not be needed in future epochs (safe to
+	// evict first once used).
+	Ephemeral bool
+}
+
+// ErrNotFound is returned when a key is absent from the store.
+var ErrNotFound = errors.New("storage: object not found")
+
+// EvictionThreshold is the fill fraction beyond which the store evicts
+// (the paper uses 75% of the designated budget).
+const EvictionThreshold = 0.75
+
+// Stats reports store counters.
+type Stats struct {
+	MemBytes    int64
+	DiskBytes   int64
+	MemObjects  int
+	DiskObjects int
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	Spills      int64
+}
+
+// Store is the two-tier object store. All methods are safe for concurrent
+// use.
+type Store struct {
+	mu sync.Mutex
+
+	memBudget  int64
+	diskBudget int64
+	dir        string // disk tier directory; "" disables the disk tier
+
+	mem      map[string]*Object
+	memBytes int64
+
+	disk      map[string]diskEntry // key -> file info
+	diskBytes int64
+
+	stats Stats
+}
+
+type diskEntry struct {
+	path string
+	size int64
+}
+
+// Options configures a store.
+type Options struct {
+	// MemBudget caps the memory tier in bytes.
+	MemBudget int64
+	// DiskBudget caps the disk tier in bytes (0 with Dir set means
+	// unlimited).
+	DiskBudget int64
+	// Dir is the disk tier directory; empty disables persistence.
+	Dir string
+}
+
+// Open creates a store, recovering any objects already persisted in
+// Options.Dir (the crash-recovery path of §5.5: step 2, scanning disk for
+// previously persisted objects).
+func Open(opts Options) (*Store, error) {
+	if opts.MemBudget <= 0 {
+		return nil, fmt.Errorf("storage: memory budget must be positive")
+	}
+	s := &Store{
+		memBudget:  opts.MemBudget,
+		diskBudget: opts.DiskBudget,
+		dir:        opts.Dir,
+		mem:        map[string]*Object{},
+		disk:       map[string]diskEntry{},
+	}
+	if s.dir != "" {
+		if err := os.MkdirAll(s.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// recover scans the disk tier and re-registers persisted objects.
+func (s *Store) recover() error {
+	return filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".obj") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(s.dir, path)
+		if err != nil {
+			return err
+		}
+		key := "/" + strings.TrimSuffix(filepath.ToSlash(rel), ".obj")
+		s.disk[key] = diskEntry{path: path, size: info.Size()}
+		s.diskBytes += info.Size()
+		return nil
+	})
+}
+
+// diskPath maps a key to its file path.
+func (s *Store) diskPath(key string) string {
+	return filepath.Join(s.dir, filepath.FromSlash(strings.TrimPrefix(key, "/"))+".obj")
+}
+
+// Put inserts or replaces an object in the memory tier, evicting (and
+// spilling to disk) as needed to respect the budget.
+func (s *Store) Put(obj *Object) error {
+	if obj == nil || obj.Key == "" {
+		return fmt.Errorf("storage: object needs a key")
+	}
+	if !strings.HasPrefix(obj.Key, "/") {
+		return fmt.Errorf("storage: key %q must be absolute (start with /)", obj.Key)
+	}
+	size := int64(len(obj.Data))
+	if size > s.memBudget {
+		return fmt.Errorf("storage: object %s (%d bytes) exceeds memory budget %d", obj.Key, size, s.memBudget)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.mem[obj.Key]; ok {
+		s.memBytes -= int64(len(old.Data))
+	}
+	s.mem[obj.Key] = obj
+	s.memBytes += size
+	return s.maybeEvictLocked()
+}
+
+// Get returns the object for key, promoting a disk-tier object into
+// memory. The returned object is shared; callers must not mutate Data.
+func (s *Store) Get(key string) (*Object, error) {
+	s.mu.Lock()
+	if obj, ok := s.mem[key]; ok {
+		s.stats.Hits++
+		s.mu.Unlock()
+		return obj, nil
+	}
+	ent, ok := s.disk[key]
+	s.mu.Unlock()
+	if !ok {
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	data, err := os.ReadFile(ent.path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: disk tier read %s: %w", key, err)
+	}
+	obj := &Object{Key: key, Data: data}
+	s.mu.Lock()
+	s.stats.Hits++
+	s.mu.Unlock()
+	if err := s.Put(obj); err != nil {
+		// Promotion failure is not fatal; serve from the read copy.
+		return obj, nil
+	}
+	return obj, nil
+}
+
+// Contains reports which tier (if any) holds the key.
+func (s *Store) Contains(key string) (inMem, onDisk bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, inMem = s.mem[key]
+	_, onDisk = s.disk[key]
+	return
+}
+
+// MarkUsed flags an object as consumed (eligible for first-priority
+// eviction when ephemeral).
+func (s *Store) MarkUsed(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obj, ok := s.mem[key]; ok {
+		obj.Used = true
+	}
+}
+
+// Delete removes the object from both tiers.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obj, ok := s.mem[key]; ok {
+		s.memBytes -= int64(len(obj.Data))
+		delete(s.mem, key)
+	}
+	if ent, ok := s.disk[key]; ok {
+		s.diskBytes -= ent.size
+		delete(s.disk, key)
+		if err := os.Remove(ent.path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("storage: %w", err)
+		}
+	}
+	return nil
+}
+
+// Persist writes an object to the disk tier (fault tolerance for
+// unpruned objects) without removing it from memory.
+func (s *Store) Persist(key string) error {
+	s.mu.Lock()
+	obj, ok := s.mem[key]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return s.writeDisk(obj)
+}
+
+func (s *Store) writeDisk(obj *Object) error {
+	if s.dir == "" {
+		return fmt.Errorf("storage: no disk tier configured")
+	}
+	size := int64(len(obj.Data))
+	s.mu.Lock()
+	if s.diskBudget > 0 && s.diskBytes+size > s.diskBudget {
+		s.mu.Unlock()
+		return fmt.Errorf("storage: disk budget exhausted (%d + %d > %d)", s.diskBytes, size, s.diskBudget)
+	}
+	s.mu.Unlock()
+	path := s.diskPath(obj.Key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, obj.Data, 0o644); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	s.mu.Lock()
+	if old, ok := s.disk[obj.Key]; ok {
+		s.diskBytes -= old.size
+	}
+	s.disk[obj.Key] = diskEntry{path: path, size: size}
+	s.diskBytes += size
+	s.stats.Spills++
+	s.mu.Unlock()
+	return nil
+}
+
+// maybeEvictLocked enforces the 75% policy: once the memory tier passes
+// the threshold, evict in order (1) used ephemeral objects, then
+// (2) longest-deadline objects, spilling persistent objects to disk if a
+// disk tier exists. Caller holds s.mu.
+func (s *Store) maybeEvictLocked() error {
+	threshold := int64(float64(s.memBudget) * EvictionThreshold)
+	if s.memBytes <= threshold {
+		return nil
+	}
+	// Build the eviction order.
+	objs := make([]*Object, 0, len(s.mem))
+	for _, o := range s.mem {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		a, b := objs[i], objs[j]
+		aFirst := a.Used && a.Ephemeral
+		bFirst := b.Used && b.Ephemeral
+		if aFirst != bFirst {
+			return aFirst
+		}
+		if a.Deadline != b.Deadline {
+			return a.Deadline > b.Deadline // longest deadline first
+		}
+		return a.Key < b.Key
+	})
+	for _, o := range objs {
+		if s.memBytes <= threshold {
+			break
+		}
+		// Spill-through: persistent objects go to disk when possible.
+		if !o.Ephemeral && s.dir != "" {
+			if _, onDisk := s.disk[o.Key]; !onDisk {
+				s.mu.Unlock()
+				err := s.writeDisk(o)
+				s.mu.Lock()
+				if err != nil && s.memBytes > s.memBudget {
+					return fmt.Errorf("storage: cannot spill %s and memory over budget: %w", o.Key, err)
+				}
+			}
+		}
+		if cur, ok := s.mem[o.Key]; ok && cur == o {
+			s.memBytes -= int64(len(o.Data))
+			delete(s.mem, o.Key)
+			s.stats.Evictions++
+		}
+	}
+	return nil
+}
+
+// Keys returns all keys with the given prefix, across both tiers, sorted.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := map[string]bool{}
+	for k := range s.mem {
+		if strings.HasPrefix(k, prefix) {
+			set[k] = true
+		}
+	}
+	for k := range s.disk {
+		if strings.HasPrefix(k, prefix) {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.MemBytes = s.memBytes
+	st.DiskBytes = s.diskBytes
+	st.MemObjects = len(s.mem)
+	st.DiskObjects = len(s.disk)
+	return st
+}
+
+// MemBytes returns current memory-tier usage.
+func (s *Store) MemBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memBytes
+}
+
+// MemPressure returns memBytes/memBudget, the signal the scheduler uses
+// to switch to SJF above 80%.
+func (s *Store) MemPressure() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return float64(s.memBytes) / float64(s.memBudget)
+}

@@ -1,0 +1,290 @@
+package trainsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sand/internal/graph"
+)
+
+// This file implements the two statistical experiments of §7.4 that run
+// directly on the real coordination code rather than the timing
+// simulator: the frame-selection CDF (Figure 19) and the convergence
+// comparison with and without materialization planning (Figure 20).
+
+// FrameSelectionStats reports Figure 19's measurement: over E epochs, how
+// many times each source frame was selected.
+type FrameSelectionStats struct {
+	Epochs int
+	// Counts[c] is the number of frames selected exactly c times.
+	Counts map[int]int
+	// FracAtLeast(4) is the paper's headline number.
+	totalSelected int
+}
+
+// FracAtLeast returns the fraction of selected frames chosen at least n
+// times.
+func (s *FrameSelectionStats) FracAtLeast(n int) float64 {
+	if s.totalSelected == 0 {
+		return 0
+	}
+	hits := 0
+	for c, k := range s.Counts {
+		if c >= n {
+			hits += k
+		}
+	}
+	return float64(hits) / float64(s.totalSelected)
+}
+
+// CDF returns (selection count, cumulative fraction) pairs, ascending.
+func (s *FrameSelectionStats) CDF() ([]int, []float64) {
+	maxC := 0
+	for c := range s.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	xs := make([]int, 0, maxC)
+	ys := make([]float64, 0, maxC)
+	cum := 0
+	for c := 1; c <= maxC; c++ {
+		cum += s.Counts[c]
+		xs = append(xs, c)
+		ys = append(ys, float64(cum)/float64(s.totalSelected))
+	}
+	return xs, ys
+}
+
+// FrameSelectionExperiment simulates E epochs of frame selection for one
+// task over a set of videos, with or without SAND's shared-pool
+// coordination, and tallies per-frame selection counts. It uses the real
+// pool implementation from internal/graph.
+func FrameSelectionExperiment(coordinated bool, epochs, videos, videoFrames, chunkEpochs int, req graph.SamplingReq, seed int64) (*FrameSelectionStats, error) {
+	if epochs <= 0 || videos <= 0 || videoFrames <= 0 {
+		return nil, fmt.Errorf("trainsim: invalid frame-selection parameters")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stats := &FrameSelectionStats{Epochs: epochs, Counts: map[int]int{}}
+	counts := make(map[[2]int]int) // (video, frame) -> selections
+	for v := 0; v < videos; v++ {
+		var pool *graph.FramePool
+		for e := 0; e < epochs; e++ {
+			var clip []int
+			if coordinated {
+				// A fresh pool per k-epoch chunk; inside the chunk every
+				// epoch draws from the same pool.
+				if e%chunkEpochs == 0 {
+					var err error
+					pool, err = graph.BuildFramePool([]graph.SamplingReq{req},
+						graph.PoolParams{VideoFrames: videoFrames, SlackClips: 1}, rng)
+					if err != nil {
+						return nil, err
+					}
+				}
+				clip = pool.Draw(req, rng)
+			} else {
+				clip = graph.UncoordinatedDraw(req, videoFrames, rng)
+			}
+			for _, f := range clip {
+				counts[[2]int{v, f}]++
+			}
+		}
+	}
+	for _, c := range counts {
+		stats.Counts[c]++
+		stats.totalSelected++
+	}
+	return stats, nil
+}
+
+// LossCurvePoint is one epoch of a simulated training run.
+type LossCurvePoint struct {
+	Epoch int
+	Loss  float64
+}
+
+// ConvergenceExperiment reproduces Figure 20: train a small softmax
+// classifier with SGD where each minibatch's examples are derived from
+// the frames and crops an actual planner draw selects — coordinated
+// (SAND planning) or uncoordinated (fresh randomness every iteration).
+// If coordination biased the sampling distribution, the curves would
+// diverge; the paper (and this experiment) show they overlap.
+//
+// The synthetic task: each video v has a ground-truth class v%classes;
+// an example's feature vector is a noisy embedding of (video, frame,
+// crop) with the class signal carried by the video identity. Temporal or
+// spatial sampling bias would distort the effective noise distribution
+// and slow or destabilize convergence.
+func ConvergenceExperiment(coordinated bool, epochs, videos, videoFrames, chunkEpochs int, req graph.SamplingReq, seed int64) ([]LossCurvePoint, error) {
+	const (
+		classes  = 8
+		featDim  = 16
+		lr       = 0.2
+		cropSpan = 64 // virtual spatial extent for crop offsets
+	)
+	rng := rand.New(rand.NewSource(seed))
+	// Linear softmax weights [classes][featDim].
+	wts := make([][]float64, classes)
+	for i := range wts {
+		wts[i] = make([]float64, featDim)
+	}
+
+	// feature builds the example embedding. The class signal is a fixed
+	// per-class pattern; frame index and crop position contribute
+	// zero-mean perturbations whose distribution depends on the sampling
+	// process under test.
+	feature := func(video, frameIdx, cropX, cropY int, r *rand.Rand) []float64 {
+		f := make([]float64, featDim)
+		class := video % classes
+		for d := 0; d < featDim; d++ {
+			// class pattern (2.39 and 0.83 chosen so per-class patterns
+			// are well separated — no near-multiples of 2 pi)
+			f[d] = math.Sin(float64(class)*2.39 + float64(d)*0.83)
+			// temporal perturbation: position of the frame in the video
+			f[d] += 0.3 * math.Sin(float64(frameIdx)*0.21+float64(d))
+			// spatial perturbation: crop offset
+			f[d] += 0.2 * math.Cos(float64(cropX+cropY)*0.13+float64(d)*0.5)
+			// pixel noise
+			f[d] += 0.1 * r.NormFloat64()
+		}
+		return f
+	}
+
+	softmaxStep := func(x []float64, label int) float64 {
+		logits := make([]float64, classes)
+		maxL := math.Inf(-1)
+		for c := 0; c < classes; c++ {
+			for d := 0; d < featDim; d++ {
+				logits[c] += wts[c][d] * x[d]
+			}
+			if logits[c] > maxL {
+				maxL = logits[c]
+			}
+		}
+		var z float64
+		probs := make([]float64, classes)
+		for c := 0; c < classes; c++ {
+			probs[c] = math.Exp(logits[c] - maxL)
+			z += probs[c]
+		}
+		loss := 0.0
+		for c := 0; c < classes; c++ {
+			probs[c] /= z
+			grad := probs[c]
+			if c == label {
+				grad -= 1
+				loss = -math.Log(math.Max(probs[c], 1e-12))
+			}
+			for d := 0; d < featDim; d++ {
+				wts[c][d] -= lr * grad * x[d] / float64(featDim)
+			}
+		}
+		return loss
+	}
+
+	var curve []LossCurvePoint
+	pools := make([]*graph.FramePool, videos)
+	windows := make([]graph.CropWindow, videos)
+	cropReq := []graph.CropReq{{Task: req.Task, W: 32, H: 32}}
+	for e := 0; e < epochs; e++ {
+		epochLoss, n := 0.0, 0
+		order := rng.Perm(videos)
+		for _, v := range order {
+			var clip []int
+			var cx, cy int
+			if coordinated {
+				if e%chunkEpochs == 0 || pools[v] == nil {
+					var err error
+					pools[v], err = graph.BuildFramePool([]graph.SamplingReq{req},
+						graph.PoolParams{VideoFrames: videoFrames, SlackClips: 1}, rng)
+					if err != nil {
+						return nil, err
+					}
+					win, err := graph.BuildCropWindow(cropReq, cropSpan, cropSpan, rng)
+					if err != nil {
+						return nil, err
+					}
+					windows[v] = win
+				}
+				clip = pools[v].Draw(req, rng)
+				sub, err := windows[v].SubCrop(32, 32, rng)
+				if err != nil {
+					return nil, err
+				}
+				cx, cy = sub.X, sub.Y
+			} else {
+				clip = graph.UncoordinatedDraw(req, videoFrames, rng)
+				cx = rng.Intn(cropSpan - 32 + 1)
+				cy = rng.Intn(cropSpan - 32 + 1)
+			}
+			for _, fi := range clip {
+				x := feature(v, fi, cx, cy, rng)
+				epochLoss += softmaxStep(x, v%classes)
+				n++
+			}
+		}
+		curve = append(curve, LossCurvePoint{Epoch: e, Loss: epochLoss / float64(n)})
+	}
+	return curve, nil
+}
+
+// CurveGap returns the mean absolute loss difference between two curves —
+// Figure 20's overlap metric.
+func CurveGap(a, b []LossCurvePoint) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Abs(a[i].Loss - b[i].Loss)
+	}
+	return sum / float64(n)
+}
+
+// PoolStats summarizes a pool-slack ablation run.
+type PoolStats struct {
+	PoolFrames       int
+	DistinctSelected int
+	FracAtLeast4     float64
+}
+
+// PoolStatsForAblation measures, for one video, how pool slack trades
+// reuse (selection concentration) against temporal variety (distinct
+// frames) over a number of epochs.
+func PoolStatsForAblation(req graph.SamplingReq, videoFrames, slack, epochs, chunkEpochs int, seed int64) (*PoolStats, error) {
+	rng := rand.New(rand.NewSource(seed))
+	counts := map[int]int{}
+	var poolFrames int
+	var pool *graph.FramePool
+	for e := 0; e < epochs; e++ {
+		if e%chunkEpochs == 0 {
+			var err error
+			pool, err = graph.BuildFramePool([]graph.SamplingReq{req},
+				graph.PoolParams{VideoFrames: videoFrames, SlackClips: slack}, rng)
+			if err != nil {
+				return nil, err
+			}
+			poolFrames = len(pool.Indices)
+		}
+		for _, f := range pool.Draw(req, rng) {
+			counts[f]++
+		}
+	}
+	st := &PoolStats{PoolFrames: poolFrames, DistinctSelected: len(counts)}
+	atLeast4 := 0
+	for _, c := range counts {
+		if c >= 4 {
+			atLeast4++
+		}
+	}
+	if len(counts) > 0 {
+		st.FracAtLeast4 = float64(atLeast4) / float64(len(counts))
+	}
+	return st, nil
+}

@@ -1,0 +1,236 @@
+package trainsim
+
+import (
+	"testing"
+
+	"sand/internal/gpusim"
+	"sand/internal/graph"
+)
+
+// slowFastReq mirrors the SlowFast sampling pattern used for Figures
+// 19/20 (32 frames, stride 2, on ~250-frame Kinetics-style videos).
+func slowFastReq() graph.SamplingReq {
+	return graph.SamplingReq{Task: "slowfast", FramesPerVideo: 32, FrameStride: 2}
+}
+
+func TestFrameSelectionValidation(t *testing.T) {
+	if _, err := FrameSelectionExperiment(true, 0, 10, 100, 3, slowFastReq(), 1); err == nil {
+		t.Fatal("accepted zero epochs")
+	}
+	if _, err := FrameSelectionExperiment(true, 5, 0, 100, 3, slowFastReq(), 1); err == nil {
+		t.Fatal("accepted zero videos")
+	}
+}
+
+// TestFigure19FrameSelectionCDF: with SAND's coordination, far more
+// frames are selected >= 4 times over ten epochs (paper: 60.1% vs 10.6%).
+func TestFigure19FrameSelectionCDF(t *testing.T) {
+	req := slowFastReq()
+	co, err := FrameSelectionExperiment(true, 10, 50, 250, 5, req, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := FrameSelectionExperiment(false, 10, 50, 250, 5, req, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coFrac, unFrac := co.FracAtLeast(4), un.FracAtLeast(4)
+	if coFrac < 0.40 {
+		t.Errorf("coordinated >=4 fraction %.1f%%, paper 60.1%%", coFrac*100)
+	}
+	if unFrac > 0.25 {
+		t.Errorf("uncoordinated >=4 fraction %.1f%%, paper 10.6%%", unFrac*100)
+	}
+	if coFrac < 3*unFrac {
+		t.Errorf("coordination should multiply reuse: %.1f%% vs %.1f%%", coFrac*100, unFrac*100)
+	}
+	// CDF must be monotone and end at 1.
+	xs, ys := co.CDF()
+	if len(xs) == 0 {
+		t.Fatal("empty CDF")
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if ys[len(ys)-1] < 0.999 {
+		t.Fatalf("CDF ends at %.3f", ys[len(ys)-1])
+	}
+}
+
+// TestFigure20LossCurvesOverlap: planning preserves training statistics;
+// the coordinated and uncoordinated loss curves must overlap.
+func TestFigure20LossCurvesOverlap(t *testing.T) {
+	req := graph.SamplingReq{Task: "t", FramesPerVideo: 8, FrameStride: 4}
+	coord, err := ConvergenceExperiment(true, 25, 64, 300, 5, req, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncoord, err := ConvergenceExperiment(false, 25, 64, 300, 5, req, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must converge: final loss well below initial.
+	if coord[len(coord)-1].Loss > coord[0].Loss*0.5 {
+		t.Fatalf("coordinated run did not converge: %.3f -> %.3f", coord[0].Loss, coord[len(coord)-1].Loss)
+	}
+	if uncoord[len(uncoord)-1].Loss > uncoord[0].Loss*0.5 {
+		t.Fatalf("uncoordinated run did not converge: %.3f -> %.3f", uncoord[0].Loss, uncoord[len(uncoord)-1].Loss)
+	}
+	// Overlap: mean absolute gap small relative to the loss drop.
+	gap := CurveGap(coord, uncoord)
+	drop := coord[0].Loss - coord[len(coord)-1].Loss
+	if gap > 0.1*drop {
+		t.Fatalf("curves diverge: gap %.4f vs drop %.3f", gap, drop)
+	}
+}
+
+func TestCurveGapEdgeCases(t *testing.T) {
+	if g := CurveGap(nil, nil); g == 0 {
+		t.Fatal("empty curves should not report zero gap")
+	}
+	a := []LossCurvePoint{{0, 1.0}, {1, 0.5}}
+	b := []LossCurvePoint{{0, 1.2}, {1, 0.6}}
+	if g := CurveGap(a, b); g < 0.14 || g > 0.16 {
+		t.Fatalf("gap = %v, want 0.15", g)
+	}
+}
+
+func TestRunASHA(t *testing.T) {
+	res, err := RunASHA(ASHAParams{Trials: 16, GPUs: 4, MaxEpochs: 16, ReductionFactor: 2, GracePeriod: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestTrial == nil {
+		t.Fatal("no best trial")
+	}
+	// Early stopping: most trials stop before MaxEpochs, so total
+	// trial-epochs must be far below Trials x MaxEpochs.
+	if res.TrialEpochs >= 16*16 {
+		t.Fatalf("ASHA did not early-stop: %d trial-epochs", res.TrialEpochs)
+	}
+	if res.Stopped == 0 {
+		t.Fatal("no trials stopped")
+	}
+	// The surviving config should be a good one (quality near the top).
+	if res.BestTrial.quality < 0.5 {
+		t.Fatalf("ASHA picked a poor config: quality %.2f", res.BestTrial.quality)
+	}
+	if res.BestLoss > trialLoss(&TrialConfig{quality: 0.5}, 16) {
+		t.Fatalf("best loss %.3f worse than a mediocre config's", res.BestLoss)
+	}
+}
+
+func TestRunASHAValidation(t *testing.T) {
+	if _, err := RunASHA(ASHAParams{Trials: 0, GPUs: 1}); err == nil {
+		t.Fatal("accepted zero trials")
+	}
+	if _, err := RunASHA(ASHAParams{Trials: 4, GPUs: 0}); err == nil {
+		t.Fatal("accepted zero GPUs")
+	}
+}
+
+func TestASHADeterministicPerSeed(t *testing.T) {
+	a, _ := RunASHA(ASHAParams{Trials: 8, GPUs: 2, Seed: 9})
+	b, _ := RunASHA(ASHAParams{Trials: 8, GPUs: 2, Seed: 9})
+	if a.TrialEpochs != b.TrialEpochs || a.BestLoss != b.BestLoss {
+		t.Fatal("ASHA nondeterministic for fixed seed")
+	}
+}
+
+func TestRunSearchEndToEnd(t *testing.T) {
+	// A full priced search: SAND search must beat the CPU-baseline
+	// search (Figure 12's experiment).
+	base := Scenario{
+		Workload: gpusim.SlowFast, ItersPerEpoch: 20, ChunkEpochs: 5,
+		Scheduling: true, Seed: 11,
+	}
+	asha := ASHAParams{Trials: 8, GPUs: 4, MaxEpochs: 8, ReductionFactor: 2, GracePeriod: 2, Seed: 11}
+	sandBase := base
+	sandBase.Pipeline = SAND
+	cpuBase := base
+	cpuBase.Pipeline = OnDemandCPU
+	sandRes, err := RunSearch(SearchScenario{Base: sandBase, ASHA: asha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuRes, err := RunSearch(SearchScenario{Base: cpuBase, ASHA: asha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sandRes.ASHA.BestLoss != cpuRes.ASHA.BestLoss {
+		t.Fatal("pipeline changed the search outcome — it must only change timing")
+	}
+	speedup := cpuRes.Timing.TotalSec / sandRes.Timing.TotalSec
+	if speedup < 2 {
+		t.Fatalf("SAND search speedup only %.2fx", speedup)
+	}
+}
+
+func TestPoolStatsForAblation(t *testing.T) {
+	req := graph.SamplingReq{Task: "t", FramesPerVideo: 16, FrameStride: 2}
+	tight, err := PoolStatsForAblation(req, 300, 0, 10, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := PoolStatsForAblation(req, 300, 4, 10, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.PoolFrames >= wide.PoolFrames {
+		t.Fatalf("slack did not widen the pool: %d vs %d", tight.PoolFrames, wide.PoolFrames)
+	}
+	if tight.DistinctSelected >= wide.DistinctSelected {
+		t.Fatalf("slack did not add variety: %d vs %d distinct frames", tight.DistinctSelected, wide.DistinctSelected)
+	}
+	if tight.FracAtLeast4 <= wide.FracAtLeast4 {
+		t.Fatalf("slack did not reduce reuse concentration: %.2f vs %.2f", tight.FracAtLeast4, wide.FracAtLeast4)
+	}
+}
+
+func TestRunWithVCPUs(t *testing.T) {
+	// More vCPUs must help the CPU-bound baseline monotonically.
+	sc := Scenario{
+		Workload: gpusim.BasicVSRpp, Pipeline: OnDemandCPU,
+		Epochs: 6, ItersPerEpoch: 20, ChunkEpochs: 3, Scheduling: true, Seed: 4,
+	}
+	var prev float64
+	for _, cpus := range []int{6, 12, 24, 48} {
+		r, err := RunWithVCPUs(sc, cpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 && r.TotalSec > prev+1e-9 {
+			t.Fatalf("%d vCPUs slower than fewer: %.2f > %.2f", cpus, r.TotalSec, prev)
+		}
+		prev = r.TotalSec
+	}
+	// Paper §3: the baseline needs roughly 4-5x the 12 vCPUs to stop
+	// stalling (>90% utilization).
+	at12, _ := RunWithVCPUs(sc, 12)
+	at60, _ := RunWithVCPUs(sc, 60)
+	if at12.GPUTrainUtil > 0.5 {
+		t.Fatalf("baseline at 12 vCPUs not stalled: %.2f", at12.GPUTrainUtil)
+	}
+	if at60.GPUTrainUtil < 0.7 {
+		t.Fatalf("baseline at 60 vCPUs still stalled: %.2f", at60.GPUTrainUtil)
+	}
+}
+
+func TestChunkLengthMonotoneWorkReduction(t *testing.T) {
+	// The k-ablation invariant: SAND's per-batch work fraction shrinks
+	// as k grows (decode amortized across more epochs).
+	var prev float64 = 2
+	for _, k := range []int{1, 2, 5, 10} {
+		pc, err := DerivePlanCosts([]gpusim.Workload{gpusim.MAE}, 40, k, 1, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := pc.SandPerBatchWork(gpusim.MAE) / gpusim.MAE.CPUPrepWork()
+		if f >= prev {
+			t.Fatalf("k=%d work fraction %.3f did not shrink (prev %.3f)", k, f, prev)
+		}
+		prev = f
+	}
+}

@@ -1,0 +1,110 @@
+package trainsim
+
+import (
+	"testing"
+
+	"sand/internal/gpusim"
+)
+
+func TestDerivePlanCostsSingleTask(t *testing.T) {
+	pc, err := DerivePlanCosts([]gpusim.Workload{gpusim.SlowFast}, 40, 5, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Tasks != 1 || pc.ChunkEpochs != 5 || pc.Videos != 40 {
+		t.Fatalf("metadata wrong: %+v", pc)
+	}
+	if pc.BatchesPerTaskEpoch != 10 {
+		t.Fatalf("batches/epoch = %d, want 10 (40 videos / 4 per batch)", pc.BatchesPerTaskEpoch)
+	}
+	if pc.BaselinePerBatch <= 0 {
+		t.Fatal("baseline cost missing")
+	}
+	if !pc.PruneFits {
+		t.Fatal("full budget must fit")
+	}
+	// SAND's chunk work must be far below the baseline's: with k=5 and
+	// decode+resize shared across the chunk, the per-batch ratio should
+	// be under 35%.
+	f := pc.SandPerBatchWork(gpusim.SlowFast) / gpusim.SlowFast.CPUPrepWork()
+	if f <= 0 || f > 0.35 {
+		t.Fatalf("SAND per-batch work fraction = %.3f, want (0, 0.35]", f)
+	}
+}
+
+func TestDerivePlanCostsDecodeShareCalibration(t *testing.T) {
+	// Heavier decode workloads must yield heavier plan decode shares and
+	// therefore smaller SAND work fractions.
+	light, err := DerivePlanCosts([]gpusim.Workload{gpusim.SlowFast}, 32, 5, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := DerivePlanCosts([]gpusim.Workload{gpusim.BasicVSRpp}, 32, 5, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fLight := light.SandPerBatchWork(gpusim.SlowFast) / gpusim.SlowFast.CPUPrepWork()
+	fHeavy := heavy.SandPerBatchWork(gpusim.BasicVSRpp) / gpusim.BasicVSRpp.CPUPrepWork()
+	if fHeavy > fLight+0.02 {
+		t.Fatalf("heavier decode share should not increase SAND fraction: light=%.3f heavy=%.3f", fLight, fHeavy)
+	}
+}
+
+func TestDerivePlanCostsMultiTaskSharing(t *testing.T) {
+	single, err := DerivePlanCosts([]gpusim.Workload{gpusim.SlowFast}, 32, 5, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := DerivePlanCosts([]gpusim.Workload{gpusim.SlowFast, gpusim.SlowFast}, 32, 5, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two identical tasks share decode/resize: total chunk work must be
+	// well below 2x the single-task chunk work.
+	w := gpusim.SlowFast
+	if multi.SandChunkWork(w) >= 1.8*single.SandChunkWork(w) {
+		t.Fatalf("no cross-task sharing: single=%.0f multi=%.0f", single.SandChunkWork(w), multi.SandChunkWork(w))
+	}
+	// Figure 16's mechanism: multi-task coordination reduces decode ops
+	// substantially.
+	if multi.DecodeReduction < 0.3 {
+		t.Fatalf("multi-task decode reduction only %.1f%%", multi.DecodeReduction*100)
+	}
+	if multi.CropReduction < 0.05 {
+		t.Fatalf("crop reduction only %.1f%%", multi.CropReduction*100)
+	}
+}
+
+func TestDerivePlanCostsPruningBudget(t *testing.T) {
+	full, err := DerivePlanCosts([]gpusim.Workload{gpusim.MAE}, 32, 5, 1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := DerivePlanCosts([]gpusim.Workload{gpusim.MAE}, 32, 5, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !half.PruneFits {
+		t.Fatal("pruning to 50% should fit")
+	}
+	if half.CachedBytes > full.CachedBytes/2 {
+		t.Fatalf("pruned footprint %d exceeds half of %d", half.CachedBytes, full.CachedBytes)
+	}
+	// A tighter budget shifts work from materialization to recompute.
+	if half.SandChunkRecompute <= full.SandChunkRecompute {
+		t.Fatalf("tight budget did not add recompute: full=%.0f half=%.0f", full.SandChunkRecompute, half.SandChunkRecompute)
+	}
+}
+
+func TestDerivePlanCostsValidation(t *testing.T) {
+	if _, err := DerivePlanCosts(nil, 10, 3, 1, 1); err == nil {
+		t.Fatal("accepted empty workload list")
+	}
+}
+
+func TestUnitScaleZeroBaseline(t *testing.T) {
+	pc := &PlanCosts{}
+	if pc.UnitScale(gpusim.SlowFast) != 0 {
+		t.Fatal("zero baseline should give zero scale")
+	}
+}

@@ -1,0 +1,502 @@
+package trainsim
+
+import (
+	"fmt"
+
+	"sand/internal/gpusim"
+	"sand/internal/simclock"
+)
+
+// Pipeline selects the preprocessing strategy under test.
+type Pipeline int
+
+const (
+	// OnDemandCPU decodes and augments every batch on the vCPUs at use
+	// time (PyAV/decord-style baseline).
+	OnDemandCPU Pipeline = iota
+	// OnDemandGPU offloads preprocessing to NVDEC + GPU kernels
+	// (DALI-style baseline): it contends with training for the device
+	// and shrinks the usable batch size.
+	OnDemandGPU
+	// NaiveCache is OnDemandCPU plus a cache of decoded frames capped at
+	// the local SSD size (§7.2's naive caching baseline).
+	NaiveCache
+	// SAND pre-materializes the pruned frontier per k-epoch chunk and
+	// feeds from it (the paper's system).
+	SAND
+	// Ideal serves pre-stored batches with zero preprocessing cost.
+	Ideal
+)
+
+func (p Pipeline) String() string {
+	switch p {
+	case OnDemandCPU:
+		return "on-demand-cpu"
+	case OnDemandGPU:
+		return "on-demand-gpu"
+	case NaiveCache:
+		return "naive-cache"
+	case SAND:
+		return "sand"
+	case Ideal:
+		return "ideal"
+	default:
+		return fmt.Sprintf("Pipeline(%d)", int(p))
+	}
+}
+
+// Scenario describes one end-to-end experiment.
+type Scenario struct {
+	Workload gpusim.Workload
+	Pipeline Pipeline
+	// Jobs is the number of concurrent training jobs (1 GPU each).
+	Jobs int
+	// SharedDataset marks that all jobs train on the same data (the
+	// hyperparameter-search and multi-task settings), enabling SAND's
+	// cross-job sharing.
+	SharedDataset bool
+	// Epochs per job.
+	Epochs int
+	// ItersPerEpoch per job (scaled-down epoch).
+	ItersPerEpoch int
+	// ChunkEpochs is SAND's k.
+	ChunkEpochs int
+	// StorageBudgetFrac is the cache budget as a fraction of the
+	// all-leaves footprint (SAND) or of the decoded dataset (NaiveCache).
+	StorageBudgetFrac float64
+	// Scheduling enables priority-based materialization scheduling; when
+	// false SAND degrades to FIFO submission in per-video subtree order
+	// (the Figure 18 ablation).
+	Scheduling bool
+	// RemoteStorage places the dataset behind a Filestore-like WAN link:
+	// encoded bytes must be fetched before preprocessing (Figure 14).
+	RemoteStorage bool
+	// PlanCosts supplies the planner-derived work structure for SAND;
+	// derived automatically when nil.
+	PlanCosts *PlanCosts
+	// VCPUs overrides the per-GPU vCPU count (0 = the paper's 12).
+	VCPUs int
+	Seed  int64
+}
+
+func (sc *Scenario) normalize() error {
+	if err := sc.Workload.Validate(); err != nil {
+		return err
+	}
+	if sc.Jobs <= 0 {
+		sc.Jobs = 1
+	}
+	if sc.Epochs <= 0 {
+		sc.Epochs = 6
+	}
+	if sc.ItersPerEpoch <= 0 {
+		sc.ItersPerEpoch = 30
+	}
+	if sc.ChunkEpochs <= 0 {
+		sc.ChunkEpochs = 5
+	}
+	if sc.StorageBudgetFrac <= 0 {
+		sc.StorageBudgetFrac = 1
+	}
+	return nil
+}
+
+// Result reports a scenario run.
+type Result struct {
+	Scenario *Scenario
+	// TotalSec is the wall-clock time of the slowest job.
+	TotalSec float64
+	// IdealSec is epochs x iters x step (no stalls) for the same work.
+	IdealSec float64
+	// GPUTrainUtil is training-compute busy time / (jobs x TotalSec).
+	GPUTrainUtil float64
+	// AvgIterSec is TotalSec / iterations.
+	AvgIterSec float64
+	// CPUUtil is the vCPU pool's busy fraction.
+	CPUUtil float64
+	// Energy is the node's energy breakdown.
+	Energy gpusim.EnergyBreakdown
+	// WANBytes counts bytes fetched over the remote-storage link.
+	WANBytes float64
+	// Stalls counts iterations where the GPU waited on data.
+	Stalls int
+	// PlanCosts echoes the planner-derived structure (SAND runs).
+	PlanCosts *PlanCosts
+}
+
+// Speedup returns other.TotalSec / r.TotalSec.
+func (r *Result) Speedup(other *Result) float64 {
+	if r.TotalSec == 0 {
+		return 0
+	}
+	return other.TotalSec / r.TotalSec
+}
+
+// batchState tracks readiness of one job's iteration batch.
+type batchState struct {
+	remaining int // outstanding subtasks
+	ready     bool
+	waiters   []func()
+}
+
+// Run executes the scenario in virtual time.
+func Run(sc Scenario) (*Result, error) {
+	if err := sc.normalize(); err != nil {
+		return nil, err
+	}
+	w := sc.Workload
+	res := &Result{Scenario: &sc}
+
+	// Derive plan costs for SAND (and reuse for op-count figures).
+	if sc.Pipeline == SAND && sc.PlanCosts == nil {
+		workloads := make([]gpusim.Workload, 1)
+		workloads[0] = w
+		if sc.SharedDataset && sc.Jobs > 1 {
+			workloads = make([]gpusim.Workload, sc.Jobs)
+			for i := range workloads {
+				workloads[i] = w
+			}
+		}
+		pc, err := DerivePlanCosts(workloads, sc.ItersPerEpoch*4, sc.ChunkEpochs, sc.StorageBudgetFrac, sc.Seed+13)
+		if err != nil {
+			return nil, err
+		}
+		sc.PlanCosts = pc
+	}
+	res.PlanCosts = sc.PlanCosts
+
+	sim := simclock.New()
+	discipline := simclock.PriorityOrder
+	if sc.Pipeline == SAND && !sc.Scheduling {
+		discipline = simclock.FIFO
+	}
+	vcpus := sc.VCPUs
+	if vcpus <= 0 {
+		vcpus = gpusim.VCPUsPerGPU
+	}
+	cpu := simclock.NewResource(sim, "vcpus", vcpus*sc.Jobs, discipline)
+	gpus := make([]*simclock.Resource, sc.Jobs)
+	for i := range gpus {
+		gpus[i] = simclock.NewResource(sim, fmt.Sprintf("gpu%d", i), 1, simclock.FIFO)
+	}
+	var wan *simclock.Link
+	if sc.RemoteStorage {
+		wan = simclock.NewLink(sim, "filestore-wan", gpusim.FilestoreWANBps)
+	}
+	// The DALI-style baseline preprocesses on a per-GPU engine (NVDEC +
+	// augmentation kernels) that overlaps with training compute but has
+	// its own serial capacity.
+	var prepEngines []*simclock.Resource
+	if sc.Pipeline == OnDemandGPU {
+		prepEngines = make([]*simclock.Resource, sc.Jobs)
+		for i := range prepEngines {
+			prepEngines[i] = simclock.NewResource(sim, fmt.Sprintf("nvdec%d", i), 1, simclock.FIFO)
+		}
+	}
+
+	stepSec := w.GPUStepSec
+	itersPerEpoch := sc.ItersPerEpoch
+	if sc.Pipeline == OnDemandGPU {
+		// Memory pressure shrinks the batch: more (slightly faster)
+		// iterations per epoch, with the net throughput loss of Figure 4.
+		stepSec = w.GPUDecodeStepSec()
+		itersPerEpoch = sc.ItersPerEpoch * w.BatchClips / w.GPUDecodeBatchClips
+	}
+	totalIters := sc.Epochs * itersPerEpoch
+	res.IdealSec = float64(totalIters) * stepSec
+
+	// Per-job batch readiness tables.
+	states := make([]map[int]*batchState, sc.Jobs)
+	for j := range states {
+		states[j] = make(map[int]*batchState, totalIters)
+		for i := 0; i < totalIters; i++ {
+			states[j][i] = &batchState{}
+		}
+	}
+	markReady := func(job, iter int) {
+		st := states[job][iter]
+		st.ready = true
+		for _, fn := range st.waiters {
+			fn()
+		}
+		st.waiters = nil
+	}
+
+	// chunkTriggers maps an iteration index of job 0 to callbacks fired
+	// when that iteration starts (used by SAND to submit the next chunk's
+	// pre-materialization as the previous chunk nears expiry).
+	chunkTriggers := map[int][]func(){}
+
+	// Per-GPU training trackers for energy.
+	gpuTrainBusy := make([]float64, sc.Jobs)
+	nvdecBusy := 0.0
+	gpuPrepBusy := 0.0
+	jobDone := make([]float64, sc.Jobs)
+
+	// submitPrep enqueues preprocessing for (job, iter) as clip-level
+	// subtasks totalling work vCPU-seconds; sharing lets several jobs
+	// wait on job 0's batches.
+	submitPrep := func(job, iter int, work float64, class int, prio float64, fetch bool) {
+		subtasks := w.BatchClips
+		if subtasks < 1 {
+			subtasks = 1
+		}
+		st := states[job][iter]
+		st.remaining = subtasks
+		per := work / float64(subtasks)
+		enqueue := func() {
+			for k := 0; k < subtasks; k++ {
+				cpu.Submit(simclock.Job{
+					Name: fmt.Sprintf("prep-%d-%d", job, iter), Work: per,
+					Class: class, Priority: prio,
+					OnDone: func() {
+						st.remaining--
+						if st.remaining == 0 {
+							markReady(job, iter)
+						}
+					},
+				})
+			}
+		}
+		if wan != nil && fetch {
+			// Fetch encoded inputs over the WAN first.
+			wan.Transfer(w.EncodedBytesPerBatch(), enqueue)
+		} else {
+			enqueue()
+		}
+	}
+
+	// GPU training loops.
+	// SAND reads each pre-materialized batch from the local SSD before
+	// the step; that feed latency is the residual gap from ideal.
+	feedSec := 0.0
+	if sc.Pipeline == SAND {
+		feedSec = w.BatchFeedSec()
+	}
+	var startIter func(job, iter int)
+	trainStep := func(job, iter int) {
+		g := gpus[job]
+		run := func() {
+			g.Submit(simclock.Job{Name: "train", Work: stepSec, OnDone: func() {
+				gpuTrainBusy[job] += stepSec
+				jobDone[job] = sim.Now()
+				if iter+1 < totalIters {
+					startIter(job, iter+1)
+				}
+			}})
+		}
+		if feedSec > 0 {
+			sim.After(feedSec, run)
+		} else {
+			run()
+		}
+	}
+	startIter = func(job, iter int) {
+		if job == 0 {
+			for _, fn := range chunkTriggers[iter] {
+				fn()
+			}
+			delete(chunkTriggers, iter)
+		}
+		st := states[job][iter]
+		if st.ready {
+			trainStep(job, iter)
+			return
+		}
+		res.Stalls++
+		st.waiters = append(st.waiters, func() { trainStep(job, iter) })
+	}
+
+	// Wire the preprocessing supply per pipeline.
+	switch sc.Pipeline {
+	case Ideal:
+		for j := 0; j < sc.Jobs; j++ {
+			for i := 0; i < totalIters; i++ {
+				markReady(j, i)
+			}
+		}
+	case OnDemandGPU:
+		// NVDEC decode overlaps training (it is a separate engine), but
+		// the per-batch preprocessing time exceeds the step time (Figure
+		// 2a's 1.3-2.7x), so the engine becomes the pipeline bottleneck.
+		// Preprocessing cost is calibrated at the operating (reduced)
+		// batch size.
+		prep := w.GPUDecodePrepSec()
+		for j := 0; j < sc.Jobs; j++ {
+			job := j
+			for i := 0; i < totalIters; i++ {
+				iter := i
+				submit := func() {
+					prepEngines[job].Submit(simclock.Job{
+						Name: "gpu-prep", Work: prep,
+						OnDone: func() {
+							nvdecBusy += prep * w.DecodeFrac
+							gpuPrepBusy += prep
+							markReady(job, iter)
+						},
+					})
+				}
+				if wan != nil {
+					wan.Transfer(w.EncodedBytesPerBatch(), submit)
+				} else {
+					submit()
+				}
+			}
+		}
+	case OnDemandCPU, NaiveCache:
+		work := w.CPUPrepWork() * cpuContention(sc.Jobs)
+		if sc.Pipeline == NaiveCache {
+			// Decoded-frame cache capped at the local SSD: random frame
+			// selection makes the hit rate the cached fraction of the
+			// decoded dataset (<4% for Kinetics-400), and a hit only
+			// saves the decode share of the work.
+			work *= 1 - w.DecodeFrac*w.NaiveCacheHitRate()
+		}
+		// PyTorch-style prefetch: each job keeps a bounded pipeline of
+		// batches in flight, demand-ordered.
+		for j := 0; j < sc.Jobs; j++ {
+			for i := 0; i < totalIters; i++ {
+				submitPrep(j, i, work, 1, float64(i), true)
+			}
+		}
+	case SAND:
+		pc := sc.PlanCosts
+		shared := sc.SharedDataset && sc.Jobs > 1
+		// Per-chunk work, divided over the chunk's batches. With sharing,
+		// the planner's chunk work already covers every task once and job
+		// 0's batches serve all jobs; without sharing each job replicates
+		// the work.
+		chunks := (sc.Epochs + sc.ChunkEpochs - 1) / sc.ChunkEpochs
+		perChunkBatches := sc.ChunkEpochs * itersPerEpoch
+		chunkWork := pc.SandChunkWork(w) * cpuContention(sc.Jobs)
+		if !shared {
+			chunkWork *= float64(sc.Jobs) / float64(pc.Tasks)
+		}
+		perBatch := chunkWork / float64(perChunkBatches)
+		// The plan for chunk c+1 is generated (and its pre-materialization
+		// submitted) when training enters the last epoch of chunk c,
+		// matching the paper's "SAND generates the next k-epoch concrete
+		// graph before the current one expires".
+		submitChunk := make([]func(), chunks)
+		for c := 0; c < chunks; c++ {
+			startIterIdx := c * perChunkBatches
+			order := make([]int, 0, perChunkBatches)
+			for i := 0; i < perChunkBatches; i++ {
+				if startIterIdx+i < totalIters {
+					order = append(order, startIterIdx+i)
+				}
+			}
+			if !sc.Scheduling {
+				// Without priority scheduling, each worker thread walks
+				// one video's subtree across the whole chunk: all k
+				// epochs of a video materialize together, so the
+				// submission order interleaves future-epoch work ahead of
+				// the current epoch's remaining iterations.
+				grouped := make([]int, 0, len(order))
+				for i := 0; i < itersPerEpoch; i++ {
+					for e := 0; e < sc.ChunkEpochs; e++ {
+						it := startIterIdx + e*itersPerEpoch + i
+						if it < totalIters {
+							grouped = append(grouped, it)
+						}
+					}
+				}
+				order = grouped
+			}
+			c := c
+			orderCopy := order
+			submitChunk[c] = func() {
+				for _, iter := range orderCopy {
+					// SAND fetches each encoded video over the WAN
+					// exactly once (the compressed dataset fits the local
+					// SSD): only the first epoch of the first chunk pays
+					// transfers. The baseline re-fetches every batch of
+					// every epoch.
+					fetch := c == 0 && iter < itersPerEpoch
+					if shared {
+						submitPrep(0, iter, perBatch, 1, float64(iter), fetch)
+					} else {
+						for j := 0; j < sc.Jobs; j++ {
+							submitPrep(j, iter, perBatch, 1, float64(iter), fetch)
+						}
+					}
+				}
+			}
+		}
+		submitChunk[0]()
+		// Trigger each subsequent chunk when job 0 enters the final epoch
+		// of the previous one.
+		for c := 1; c < chunks; c++ {
+			triggerIter := c*perChunkBatches - itersPerEpoch
+			if triggerIter < 0 {
+				triggerIter = 0
+			}
+			chunkTriggers[triggerIter] = append(chunkTriggers[triggerIter], submitChunk[c])
+		}
+		if shared {
+			// Other jobs piggyback on job 0's batches.
+			for j := 1; j < sc.Jobs; j++ {
+				for i := 0; i < totalIters; i++ {
+					job, iter := j, i
+					st0 := states[0][iter]
+					if st0.ready {
+						markReady(job, iter)
+					} else {
+						st0.waiters = append(st0.waiters, func() { markReady(job, iter) })
+					}
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("trainsim: unknown pipeline %v", sc.Pipeline)
+	}
+
+	for j := 0; j < sc.Jobs; j++ {
+		startIter(j, 0)
+	}
+	sim.Run()
+
+	res.TotalSec = 0
+	for j := 0; j < sc.Jobs; j++ {
+		if jobDone[j] > res.TotalSec {
+			res.TotalSec = jobDone[j]
+		}
+	}
+	if res.TotalSec == 0 {
+		return nil, fmt.Errorf("trainsim: simulation made no progress")
+	}
+	res.AvgIterSec = res.TotalSec / float64(totalIters)
+	var trainBusy float64
+	for j := 0; j < sc.Jobs; j++ {
+		trainBusy += gpuTrainBusy[j]
+	}
+	res.GPUTrainUtil = trainBusy / (res.TotalSec * float64(sc.Jobs))
+	res.CPUUtil = cpu.Utilization()
+	if wan != nil {
+		res.WANBytes = wan.Transferred
+	}
+
+	// Energy accounting over the run.
+	cpuBusy := cpu.BusyTime()
+	cpuIdle := res.TotalSec*float64(cpu.Slots()) - cpuBusy
+	gpuIdle := res.TotalSec*float64(sc.Jobs) - trainBusy - gpuPrepBusy
+	res.Energy.Accumulate(cpuBusy, cpuIdle, trainBusy, gpuPrepBusy, gpuIdle, nvdecBusy)
+	return res, nil
+}
+
+// cpuContention returns the work-inflation factor for co-located jobs:
+// memory-bandwidth contention among decode workers grows with the number
+// of jobs sharing a node (see gpusim.MultiJobCPUContention).
+func cpuContention(jobs int) float64 {
+	if jobs <= 1 {
+		return 1
+	}
+	return 1 + gpusim.MultiJobCPUContention*float64(jobs-1)
+}
+
+// RunWithVCPUs runs a scenario with an overridden per-GPU vCPU count —
+// used by the vCPU-scaling ablation (§3's "4-5x more vCPUs" analysis).
+func RunWithVCPUs(sc Scenario, vcpus int) (*Result, error) {
+	sc.VCPUs = vcpus
+	return Run(sc)
+}
