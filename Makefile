@@ -1,0 +1,18 @@
+# Tier-1 verification gate: vet + build + race-clean tests.
+check:
+	./scripts/check.sh
+
+# Fast iteration: build + tests without the race detector.
+test:
+	go build ./...
+	go test ./...
+
+# Dataplane fuzzing (bounded; extend -fuzztime for longer campaigns).
+fuzz:
+	go test -run=xxx -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/viewserver/
+
+# Regenerate the paper's evaluation tables.
+bench:
+	go test -bench=. -benchmem .
+
+.PHONY: check test fuzz bench

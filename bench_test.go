@@ -10,6 +10,8 @@
 package sand_test
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"sand/internal/config"
@@ -17,7 +19,10 @@ import (
 	"sand/internal/dataset"
 	"sand/internal/gpusim"
 	"sand/internal/graph"
+	"sand/internal/metrics"
 	"sand/internal/trainsim"
+	"sand/internal/vfs"
+	"sand/internal/viewserver"
 )
 
 const (
@@ -385,5 +390,90 @@ func BenchmarkRealEngineEpoch(b *testing.B) {
 			}
 		}
 		svc.Close()
+	}
+}
+
+// benchViewProvider serves a fixed payload for any path: it isolates the
+// network dataplane (framing, session handling, buffer pooling) from
+// engine materialization cost.
+type benchViewProvider struct {
+	payload []byte
+}
+
+func (p benchViewProvider) Materialize(vp vfs.Path) ([]byte, map[string]string, error) {
+	return p.payload, map[string]string{"user.sand.geometry": "bench"}, nil
+}
+
+func (p benchViewProvider) List(dir string) ([]string, error) { return nil, nil }
+
+// BenchmarkViewServerThroughput measures the remote-view dataplane over
+// loopback TCP across batch sizes and client counts; b.SetBytes makes
+// `go test -bench` report MB/s for each cell.
+func BenchmarkViewServerThroughput(b *testing.B) {
+	for _, size := range []int{64 << 10, 512 << 10, 2 << 20} {
+		for _, clients := range []int{1, 4} {
+			name := fmt.Sprintf("batch=%s/clients=%d", metrics.Bytes(float64(size)), clients)
+			b.Run(name, func(b *testing.B) {
+				payload := make([]byte, size)
+				for i := range payload {
+					payload[i] = byte(i)
+				}
+				fs := vfs.New(benchViewProvider{payload: payload})
+				srv := viewserver.New(fs, viewserver.Options{ReadAhead: 2})
+				addr, err := srv.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+
+				conns := make([]*viewserver.Client, clients)
+				for i := range conns {
+					c, err := viewserver.Dial("tcp", addr.String(), viewserver.ClientOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer c.Shutdown()
+					conns[i] = c
+				}
+
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				errs := make([]error, clients)
+				for ci, c := range conns {
+					wg.Add(1)
+					go func(ci int, c *viewserver.Client) {
+						defer wg.Done()
+						// Each client walks its own sequential batch view
+						// sequence, like one trainer per connection.
+						for i := 0; i < b.N/clients+1; i++ {
+							fd, err := c.Open(vfs.BatchPath(fmt.Sprintf("bench%d", ci), 0, i))
+							if err != nil {
+								errs[ci] = err
+								return
+							}
+							data, err := c.ReadAll(fd)
+							if err == nil && len(data) != size {
+								err = fmt.Errorf("read %d bytes, want %d", len(data), size)
+							}
+							if err == nil {
+								err = c.Close(fd)
+							}
+							if err != nil {
+								errs[ci] = err
+								return
+							}
+						}
+					}(ci, c)
+				}
+				wg.Wait()
+				b.StopTimer()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

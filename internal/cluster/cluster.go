@@ -14,6 +14,7 @@ import (
 	"sand/internal/core"
 	"sand/internal/dataset"
 	"sand/internal/frame"
+	"sand/internal/viewserver"
 )
 
 // RemoteStore serves encoded videos and accounts every byte transferred,
@@ -79,11 +80,14 @@ func (r *RemoteStore) Fetches() int {
 	return r.fetches
 }
 
-// Node is one training worker: a SAND engine over a local dataset copy.
+// Node is one training worker. In the default mode it runs a SAND engine
+// over a local dataset copy; in RemoteViews mode it is a thin consumer
+// reading batch views from the shared view server through a real socket.
 type Node struct {
 	ID  int
 	svc *core.Service
 	ldr *core.Loader
+	cli *viewserver.Client // non-nil in RemoteViews mode
 
 	mu      sync.Mutex
 	batches int
@@ -120,6 +124,15 @@ type Options struct {
 	StorageBudget int64
 	Workers       int
 	Seed          int64
+	// RemoteViews switches the dataplane from per-node in-process engines
+	// to a real network mount: one shared engine exports its view
+	// filesystem through a viewserver on loopback TCP, and every node
+	// reads batch views through a viewserver.Client. Bytes on the wire
+	// are then measured from real socket traffic, not simulated.
+	RemoteViews bool
+	// ReadAhead tunes the view server's sequential prefetch depth in
+	// RemoteViews mode (0 = server default).
+	ReadAhead int
 }
 
 // Cluster coordinates DDP training over a remote store.
@@ -127,6 +140,11 @@ type Cluster struct {
 	opts  Options
 	store *RemoteStore
 	nodes []*Node
+
+	// RemoteViews-mode dataplane (nil otherwise): the shared engine and
+	// the server exporting its views.
+	central *core.Service
+	vsrv    *viewserver.Server
 
 	mu       sync.Mutex
 	barriers int
@@ -145,6 +163,13 @@ func New(store *RemoteStore, opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: task required")
 	}
 	c := &Cluster{opts: opts, store: store}
+	if opts.RemoteViews {
+		if err := c.buildRemoteViews(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		return c, nil
+	}
 	for i := 0; i < opts.Nodes; i++ {
 		local, err := store.FetchAll()
 		if err != nil {
@@ -174,8 +199,63 @@ func New(store *RemoteStore, opts Options) (*Cluster, error) {
 	return c, nil
 }
 
+// buildRemoteViews stands up the network dataplane: the view-server node
+// fetches the corpus once, runs the single shared engine, and exports its
+// VFS over loopback TCP; workers mount it through viewserver.Client.
+func (c *Cluster) buildRemoteViews() error {
+	local, err := c.store.FetchAll()
+	if err != nil {
+		return err
+	}
+	svc, err := core.New(core.Options{
+		Tasks:         []*config.Task{c.opts.Task},
+		Dataset:       local,
+		ChunkEpochs:   c.opts.ChunkEpochs,
+		TotalEpochs:   c.opts.TotalEpochs,
+		MemBudget:     c.opts.MemBudget,
+		StorageBudget: c.opts.StorageBudget,
+		Workers:       c.opts.Workers,
+		Coordinate:    true,
+		Seed:          c.opts.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: view-server engine: %w", err)
+	}
+	c.central = svc
+	c.vsrv = viewserver.New(svc.FS(), viewserver.Options{ReadAhead: c.opts.ReadAhead})
+	addr, err := c.vsrv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("cluster: view server listen: %w", err)
+	}
+	for i := 0; i < c.opts.Nodes; i++ {
+		cli, err := viewserver.Dial("tcp", addr.String(), viewserver.ClientOptions{})
+		if err != nil {
+			return fmt.Errorf("cluster: node %d dial: %w", i, err)
+		}
+		ldr, err := core.NewRemoteLoader(cli, c.opts.Task.Tag)
+		if err != nil {
+			return err
+		}
+		c.nodes = append(c.nodes, &Node{ID: i, svc: svc, ldr: ldr, cli: cli})
+	}
+	return nil
+}
+
 // Nodes returns the cluster's workers.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// ViewServer returns the RemoteViews-mode dataplane server (nil in the
+// in-process mode) for stats inspection.
+func (c *Cluster) ViewServer() *viewserver.Server { return c.vsrv }
+
+// WireBytes returns payload bytes actually moved over sockets by the
+// batch dataplane — measured, not simulated. Zero unless RemoteViews.
+func (c *Cluster) WireBytes() int64 {
+	if c.vsrv == nil {
+		return 0
+	}
+	return c.vsrv.Stats().BytesServed
+}
 
 // Barriers returns how many DDP synchronization barriers completed.
 func (c *Cluster) Barriers() int {
@@ -184,8 +264,23 @@ func (c *Cluster) Barriers() int {
 	return c.barriers
 }
 
-// Close shuts every node down.
+// Close shuts every node down. In RemoteViews mode the clients, the
+// server and the single shared engine are torn down in dataplane order.
 func (c *Cluster) Close() {
+	if c.opts.RemoteViews {
+		for _, n := range c.nodes {
+			if n.cli != nil {
+				n.cli.Shutdown()
+			}
+		}
+		if c.vsrv != nil {
+			c.vsrv.Close()
+		}
+		if c.central != nil {
+			c.central.Close()
+		}
+		return
+	}
 	for _, n := range c.nodes {
 		n.svc.Close()
 	}

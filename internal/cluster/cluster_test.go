@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"bytes"
 	"testing"
 
 	"sand/internal/config"
 	"sand/internal/dataset"
+	"sand/internal/vfs"
 )
 
 func miniDataset(t testing.TB, videos int) *dataset.Dataset {
@@ -153,6 +155,120 @@ func TestDDPFullRunAndTraffic(t *testing.T) {
 	// Training transferred nothing further from the remote store.
 	if store.BytesServed() != afterSetup {
 		t.Fatalf("training leaked remote traffic: %d -> %d", afterSetup, store.BytesServed())
+	}
+}
+
+func TestDDPRemoteViews(t *testing.T) {
+	ds := miniDataset(t, 6) // 3 iterations/epoch at 2 videos per batch
+	store, _ := NewRemoteStore(ds)
+	c, err := New(store, Options{
+		Nodes: 2, Task: miniTask(t),
+		ChunkEpochs: 2, TotalEpochs: 2, Workers: 2, Seed: 3,
+		RemoteViews: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The corpus crossed the (simulated) WAN exactly once: only the
+	// view-server node fetched it.
+	if got, want := store.BytesServed(), ds.TotalEncodedBytes(); got != want {
+		t.Fatalf("setup traffic %d, want %d (fetch-once by the server node)", got, want)
+	}
+
+	clips := 0
+	seen := map[[2]int]int{}
+	if err := c.Run(2, func(r StepResult) {
+		clips += r.Batch.Len()
+		seen[[2]int{r.Batch.Epoch, r.Batch.Iteration}]++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Same DDP semantics as the in-process mode: every iteration of every
+	// epoch consumed exactly once cluster-wide.
+	if clips != 2*len(ds.Videos) {
+		t.Fatalf("consumed %d clips, want %d", clips, 2*len(ds.Videos))
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Fatalf("iteration %v consumed %d times", key, n)
+		}
+	}
+
+	// The batches moved over real sockets: measured wire traffic must
+	// cover at least the raw payload bytes of every batch served.
+	st := c.ViewServer().Stats()
+	if c.WireBytes() == 0 || st.BytesServed != c.WireBytes() {
+		t.Fatalf("wire bytes not measured: %d vs stats %d", c.WireBytes(), st.BytesServed)
+	}
+	if st.Requests["open"] == 0 || st.Requests["read"] == 0 || st.Requests["close"] == 0 {
+		t.Fatalf("dataplane op counters empty: %+v", st.Requests)
+	}
+	// Sequential epoch reads should have warmed the server's read-ahead.
+	if st.ReadaheadHits == 0 {
+		t.Fatalf("no read-ahead hits: %+v", st)
+	}
+	// Loaders close every descriptor they open: nothing may leak.
+	if st.OpenFDs != 0 {
+		t.Fatalf("leaked %d fds on the view server", st.OpenFDs)
+	}
+	if st.OpenSessions != 2 {
+		t.Fatalf("sessions = %d, want 2", st.OpenSessions)
+	}
+}
+
+func TestDDPRemoteViewsMatchesInProcess(t *testing.T) {
+	// The dataplane only moves bytes: a batch view read through a node's
+	// network mount must be byte-identical to the same view read through
+	// the central engine's in-process filesystem.
+	ds := miniDataset(t, 4)
+	task := miniTask(t)
+
+	store, _ := NewRemoteStore(ds)
+	c, err := New(store, Options{
+		Nodes: 2, Task: task,
+		ChunkEpochs: 1, TotalEpochs: 1, Workers: 2, Seed: 9,
+		RemoteViews: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	iters, err := c.central.ItersPerEpoch(task.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := c.central.FS()
+	for iter := 0; iter < iters; iter++ {
+		path := vfs.BatchPath(task.Tag, 0, iter)
+		cli := c.nodes[iter%len(c.nodes)].cli
+
+		rfd, err := cli.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cli.ReadAll(rfd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli.Close(rfd)
+
+		lfd, err := fs.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fs.ReadAll(lfd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.Close(lfd)
+
+		if !bytes.Equal(want, got) {
+			t.Fatalf("iteration %d: remote batch differs from local view (%d vs %d bytes)",
+				iter, len(got), len(want))
+		}
 	}
 }
 

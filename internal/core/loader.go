@@ -11,9 +11,11 @@ import (
 // Loader is the few-lines-of-code consumer interface from Figure 6 of the
 // paper: training code opens the batch view for (epoch, iteration), reads
 // the payload, fetches metadata via getxattr, and closes the descriptor.
-// Loader wraps exactly those four POSIX calls.
+// Loader wraps exactly those four POSIX calls. It works over any
+// vfs.Mount, so the same training code reads from the in-process
+// filesystem or a remote view server.
 type Loader struct {
-	fs   *vfs.FS
+	fs   vfs.Mount
 	task string
 }
 
@@ -23,6 +25,20 @@ func (s *Service) NewLoader(task string) (*Loader, error) {
 		return nil, fmt.Errorf("core: unknown task %q", task)
 	}
 	return &Loader{fs: s.fs, task: task}, nil
+}
+
+// NewRemoteLoader creates a loader over an arbitrary mount — typically a
+// viewserver.Client pointed at a served engine. The task tag is not
+// validated locally; unknown tasks surface as ENOENT on the first open,
+// exactly as they would through a remote kernel mount.
+func NewRemoteLoader(m vfs.Mount, task string) (*Loader, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil mount")
+	}
+	if task == "" {
+		return nil, fmt.Errorf("core: empty task tag")
+	}
+	return &Loader{fs: m, task: task}, nil
 }
 
 // BatchMeta is the metadata exposed through xattrs on a batch view.

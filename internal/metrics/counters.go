@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// CounterSet is a named, concurrency-safe counter registry. Long-running
+// subsystems (the view server, caches, schedulers) count events into it
+// and render snapshots through the reporting toolkit.
+type CounterSet struct {
+	mu sync.Mutex
+	v  map[string]int64
+}
+
+// NewCounterSet creates an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{v: map[string]int64{}}
+}
+
+// Add increments the named counter by delta (which may be negative for
+// gauges) and returns the new value.
+func (c *CounterSet) Add(name string, delta int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v[name] += delta
+	return c.v[name]
+}
+
+// Get returns the current value of the named counter (0 if never added).
+func (c *CounterSet) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v[name]
+}
+
+// Snapshot returns a copy of every counter.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.v))
+	for k, v := range c.v {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns all counter names in sorted order.
+func (c *CounterSet) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.v))
+	for k := range c.v {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table renders the counters as a two-column table, sorted by name.
+func (c *CounterSet) Table(title string) *Table {
+	t := NewTable(title, "counter", "value")
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		t.AddRow(k, snap[k])
+	}
+	return t
+}

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	c := NewCounterSet()
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("missing counter = %d, want 0", got)
+	}
+	if got := c.Add("a", 2); got != 2 {
+		t.Fatalf("Add returned %d, want 2", got)
+	}
+	c.Add("a", -1)
+	c.Add("b", 5)
+	snap := c.Snapshot()
+	if snap["a"] != 1 || snap["b"] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Snapshot is a copy: mutating it does not touch the set.
+	snap["a"] = 99
+	if c.Get("a") != 1 {
+		t.Fatal("snapshot aliased the live map")
+	}
+	if names := c.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	const workers, each = 16, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Add("shared", 1)
+				c.Add(fmt.Sprintf("own.%d", w), 1)
+				_ = c.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Get("shared"); got != workers*each {
+		t.Fatalf("shared = %d, want %d", got, workers*each)
+	}
+}
+
+func TestCounterSetTable(t *testing.T) {
+	c := NewCounterSet()
+	c.Add("z.last", 1)
+	c.Add("a.first", 2)
+	out := c.Table("counters").String()
+	if !strings.Contains(out, "a.first") || !strings.Contains(out, "z.last") {
+		t.Fatalf("table missing counters:\n%s", out)
+	}
+	if strings.Index(out, "a.first") > strings.Index(out, "z.last") {
+		t.Fatalf("table not sorted:\n%s", out)
+	}
+}

@@ -169,6 +169,22 @@ type Provider interface {
 	List(dir string) ([]string, error)
 }
 
+// Mount is the POSIX-shaped surface shared by the in-process FS and
+// remote mounts (e.g. viewserver.Client). Training code written against
+// Mount can swap a network-served view tree in for the local filesystem
+// unchanged.
+type Mount interface {
+	Open(path string) (int, error)
+	Read(fd int, buf []byte) (int, error)
+	ReadAll(fd int) ([]byte, error)
+	ReadAt(fd int, buf []byte, off int64) (int, error)
+	Getxattr(fd int, name string) (string, error)
+	Listxattr(fd int) ([]string, error)
+	Size(fd int) (int64, error)
+	Close(fd int) error
+	Readdir(dir string) ([]string, error)
+}
+
 // FS is the in-process view filesystem. Safe for concurrent use.
 type FS struct {
 	provider Provider
@@ -195,6 +211,8 @@ type file struct {
 	xattrs map[string]string
 	off    int
 }
+
+var _ Mount = (*FS)(nil)
 
 // New creates a filesystem over the provider.
 func New(p Provider) *FS {

@@ -1,0 +1,79 @@
+package viewserver
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds is the seeded corpus: valid encodings of every op, their
+// truncations at a few offsets, and hand-picked malformed frames. It is
+// exercised by the normal `go test` run (each seed runs as a unit case)
+// and used as the starting corpus for `go test -fuzz=FuzzDecodeRequest`.
+func fuzzSeeds() [][]byte {
+	var seeds [][]byte
+	for _, req := range seedRequests() {
+		full := appendRequest(nil, req)
+		seeds = append(seeds, full)
+		for _, cut := range []int{0, 1, len(full) / 2, len(full) - 1} {
+			if cut >= 0 && cut < len(full) {
+				seeds = append(seeds, full[:cut])
+			}
+		}
+	}
+	seeds = append(seeds,
+		nil,
+		bytes.Repeat([]byte{0xFF}, 9),
+		append(appendRequest(nil, request{op: OpOpen}), 0xFF, 0xFF),
+		[]byte{0, 0, 0, 0, 0, 0, 0, 0, byte(OpReadAt), 1},
+	)
+	return seeds
+}
+
+// FuzzDecodeRequest asserts the wire decoder never panics on malformed
+// or truncated frames, and that every successfully decoded request
+// re-encodes to a byte-identical frame (a canonical-form invariant).
+func FuzzDecodeRequest(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeRequest(data)
+		if err != nil {
+			return
+		}
+		re := appendRequest(nil, req)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decoded request %+v re-encodes to % x, input % x", req, re, data)
+		}
+	})
+}
+
+// FuzzCursor asserts the low-level bounds-checked reader sticks on error
+// and never reads past the buffer regardless of call sequence.
+func FuzzCursor(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(3))
+	f.Add(appendString(appendBlob(nil, []byte("blob")), "str"), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, sequence uint8) {
+		c := cursor{b: data}
+		for i := 0; i < 8; i++ {
+			switch (sequence >> (i % 8)) % 6 {
+			case 0:
+				c.u8()
+			case 1:
+				c.u16()
+			case 2:
+				c.u32()
+			case 3:
+				c.u64()
+			case 4:
+				c.str()
+			case 5:
+				c.blob()
+			}
+		}
+		if c.off > len(data) {
+			t.Fatalf("cursor overran buffer: off %d > len %d", c.off, len(data))
+		}
+	})
+}

@@ -1,0 +1,697 @@
+package viewserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+
+	"sand/internal/metrics"
+	"sand/internal/vfs"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// ReadAhead is how many subsequent batch views the server prefetches
+	// when a client opens /{task}/{epoch}/{iter}/view — the dataplane
+	// analogue of sequential read-ahead. 0 uses the default; negative
+	// disables.
+	ReadAhead int
+	// MaxInflight bounds concurrently executing requests per session.
+	// When a client pipelines past the limit the server stops reading its
+	// socket, so backpressure propagates through TCP instead of growing
+	// an unbounded buffer. 0 uses the default.
+	MaxInflight int
+	// MaxMessage bounds a single wire frame in bytes. Oversized frames
+	// are answered with a protocol error and the connection is closed.
+	// 0 uses DefaultMaxMessage.
+	MaxMessage int
+}
+
+func (o *Options) normalize() {
+	if o.ReadAhead == 0 {
+		o.ReadAhead = 2
+	}
+	if o.ReadAhead < 0 {
+		o.ReadAhead = 0
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 32
+	}
+	if o.MaxMessage <= 0 {
+		o.MaxMessage = DefaultMaxMessage
+	}
+}
+
+// Stats is a snapshot of server counters.
+type Stats struct {
+	// Requests counts completed requests by op name.
+	Requests map[string]int64
+	// BytesServed is payload bytes sent on read paths.
+	BytesServed int64
+	// OpenSessions is the number of live connections.
+	OpenSessions int
+	// OpenFDs is the number of live descriptors across all sessions.
+	OpenFDs int
+	// ReadaheadHits / ReadaheadMisses count batch-view opens served from
+	// (or missing) the prefetch cache.
+	ReadaheadHits   int64
+	ReadaheadMisses int64
+}
+
+// ReadaheadHitRate returns hits / (hits + misses), 0 when idle.
+func (s Stats) ReadaheadHitRate() float64 {
+	total := s.ReadaheadHits + s.ReadaheadMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ReadaheadHits) / float64(total)
+}
+
+// Counter names used in the metrics.CounterSet.
+const (
+	ctrBytesServed = "bytes.served"
+	ctrRAHit       = "readahead.hit"
+	ctrRAMiss      = "readahead.miss"
+)
+
+// Server exports a vfs.Mount over length-prefixed frames. One goroutine
+// reads each connection; requests dispatch to bounded per-session worker
+// goroutines so slow materializations don't serialize a session's
+// independent reads.
+type Server struct {
+	mount vfs.Mount
+	opts  Options
+	ctr   *metrics.CounterSet
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	sessions  map[*session]struct{}
+	openFDs   int
+	closed    bool
+
+	ramu    sync.Mutex
+	ra      map[string]*raEntry
+	raOrder []string
+
+	wg   sync.WaitGroup // accept loops + sessions
+	rawg sync.WaitGroup // read-ahead materializations
+}
+
+// raEntry is one prefetched view. done closes when materialization
+// finishes (successfully or not).
+type raEntry struct {
+	done   chan struct{}
+	data   []byte
+	xattrs map[string]string
+	err    error
+}
+
+// raCap bounds the prefetch cache (entries, not bytes): stale entries
+// from abandoned sequences are evicted FIFO.
+const raCap = 64
+
+// New creates a server exporting the mount. Call Listen (or Serve) to
+// start accepting connections.
+func New(m vfs.Mount, opts Options) *Server {
+	if m == nil {
+		panic("viewserver: nil mount")
+	}
+	opts.normalize()
+	return &Server{
+		mount:    m,
+		opts:     opts,
+		ctr:      metrics.NewCounterSet(),
+		sessions: map[*session]struct{}{},
+		ra:       map[string]*raEntry{},
+	}
+}
+
+// Listen starts accepting connections on network ("tcp" or "unix") and
+// address, returning the bound address (useful with ":0").
+func (s *Server) Listen(network, addr string) (net.Addr, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, ErrClosed
+	}
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Serve runs the accept loop on an existing listener, blocking until the
+// listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	s.acceptLoop(ln)
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops listeners, drops every session, reclaims their fds and
+// waits for in-flight work.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lns := s.listeners
+	s.listeners = nil
+	conns := make([]net.Conn, 0, len(s.sessions))
+	for sess := range s.sessions {
+		conns = append(conns, sess.conn)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	s.rawg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	snap := s.ctr.Snapshot()
+	st := Stats{
+		Requests:        map[string]int64{},
+		BytesServed:     snap[ctrBytesServed],
+		ReadaheadHits:   snap[ctrRAHit],
+		ReadaheadMisses: snap[ctrRAMiss],
+	}
+	for k, v := range snap {
+		if name, ok := strings.CutPrefix(k, "op."); ok {
+			st.Requests[name] = v
+		}
+	}
+	s.mu.Lock()
+	st.OpenSessions = len(s.sessions)
+	st.OpenFDs = s.openFDs
+	s.mu.Unlock()
+	return st
+}
+
+// Counters exposes the raw counter set (shared with the live server; use
+// Snapshot for a consistent view).
+func (s *Server) Counters() *metrics.CounterSet { return s.ctr }
+
+// StatsTable renders the counters plus gauges for reporting.
+func (s *Server) StatsTable() *metrics.Table {
+	st := s.Stats()
+	t := metrics.NewTable("viewserver", "counter", "value")
+	ops := make([]string, 0, len(st.Requests))
+	for op := range st.Requests {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		t.AddRow("op."+op, st.Requests[op])
+	}
+	t.AddRow("bytes.served", st.BytesServed)
+	t.AddRow("sessions.open", st.OpenSessions)
+	t.AddRow("fds.open", st.OpenFDs)
+	t.AddRow("readahead.hit", st.ReadaheadHits)
+	t.AddRow("readahead.miss", st.ReadaheadMisses)
+	t.AddRow("readahead.hitrate", metrics.Pct(st.ReadaheadHitRate()))
+	return t
+}
+
+// session is one connection's state: a private fd namespace reclaimed on
+// disconnect.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	wmu sync.Mutex // serializes response frames
+
+	mu     sync.Mutex
+	nextFD uint32
+	fds    map[uint32]*handle
+	closed bool
+}
+
+// handle is an open view: the fully materialized payload plus metadata.
+// The server holds no underlying vfs descriptors across requests, so a
+// dying session can never leak engine state.
+type handle struct {
+	mu     sync.Mutex
+	data   []byte
+	xattrs map[string]string
+	off    int
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	sess := &session{srv: s, conn: conn, nextFD: 3, fds: map[uint32]*handle{}}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+
+	sem := make(chan struct{}, s.opts.MaxInflight)
+	var handlers sync.WaitGroup
+	for {
+		body, err := readFrame(conn, s.opts.MaxMessage)
+		if err != nil {
+			if errors.Is(err, ErrTooLarge) {
+				// Clean protocol error: tell the client why before
+				// dropping the now-unframeable connection.
+				sess.sendError(0, ErrTooLarge, err.Error())
+			}
+			break
+		}
+		req, derr := decodeRequest(body)
+		if derr != nil {
+			sess.sendError(req.id, ErrProtocol, derr.Error())
+			break
+		}
+		sem <- struct{}{} // backpressure: stop reading when the session is saturated
+		handlers.Add(1)
+		go func(req request) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			s.handle(sess, req)
+		}(req)
+	}
+	handlers.Wait()
+	conn.Close()
+
+	// Reclaim the session and its descriptors.
+	sess.mu.Lock()
+	sess.closed = true
+	nfds := len(sess.fds)
+	sess.fds = nil
+	sess.mu.Unlock()
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.openFDs -= nfds
+	s.mu.Unlock()
+}
+
+func (s *Server) handle(sess *session, req request) {
+	s.ctr.Add("op."+req.op.String(), 1)
+	switch req.op {
+	case OpPing:
+		sess.send(req.id, StatusOK, nil)
+	case OpOpen:
+		s.handleOpen(sess, req)
+	case OpRead:
+		s.handleRead(sess, req)
+	case OpReadAt:
+		s.handleReadAt(sess, req)
+	case OpGetxattr:
+		h, ok := sess.lookup(req.fd)
+		if !ok {
+			sess.sendError(req.id, vfs.ErrBadFD, fmt.Sprintf("fd %d", req.fd))
+			return
+		}
+		v, ok := h.xattrs[req.name]
+		if !ok {
+			sess.sendError(req.id, vfs.ErrNoXattr, req.name)
+			return
+		}
+		sess.send(req.id, StatusOK, func(b []byte) []byte { return appendString(b, v) })
+	case OpListxattr:
+		h, ok := sess.lookup(req.fd)
+		if !ok {
+			sess.sendError(req.id, vfs.ErrBadFD, fmt.Sprintf("fd %d", req.fd))
+			return
+		}
+		names := make([]string, 0, len(h.xattrs))
+		for k := range h.xattrs {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		sess.sendStrings(req.id, names)
+	case OpSize:
+		h, ok := sess.lookup(req.fd)
+		if !ok {
+			sess.sendError(req.id, vfs.ErrBadFD, fmt.Sprintf("fd %d", req.fd))
+			return
+		}
+		sess.send(req.id, StatusOK, func(b []byte) []byte {
+			return appendU64(b, uint64(len(h.data)))
+		})
+	case OpReaddir:
+		names, err := s.mount.Readdir(req.path)
+		if err != nil {
+			sess.sendError(req.id, err, err.Error())
+			return
+		}
+		sess.sendStrings(req.id, names)
+	case OpClose:
+		sess.mu.Lock()
+		_, ok := sess.fds[req.fd]
+		if ok {
+			delete(sess.fds, req.fd)
+		}
+		sess.mu.Unlock()
+		if !ok {
+			sess.sendError(req.id, vfs.ErrBadFD, fmt.Sprintf("fd %d", req.fd))
+			return
+		}
+		s.mu.Lock()
+		s.openFDs--
+		s.mu.Unlock()
+		sess.send(req.id, StatusOK, nil)
+	case OpStats:
+		st := s.Stats()
+		kv := map[string]int64{
+			"bytes.served":   st.BytesServed,
+			"sessions.open":  int64(st.OpenSessions),
+			"fds.open":       int64(st.OpenFDs),
+			"readahead.hit":  st.ReadaheadHits,
+			"readahead.miss": st.ReadaheadMisses,
+		}
+		for op, n := range st.Requests {
+			kv["op."+op] = n
+		}
+		keys := make([]string, 0, len(kv))
+		for k := range kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sess.send(req.id, StatusOK, func(b []byte) []byte {
+			b = appendU32(b, uint32(len(keys)))
+			for _, k := range keys {
+				b = appendString(b, k)
+				b = appendU64(b, uint64(kv[k]))
+			}
+			return b
+		})
+	}
+}
+
+func (s *Server) handleOpen(sess *session, req request) {
+	data, xattrs, err := s.materialize(req.path)
+	if err != nil {
+		sess.sendError(req.id, err, err.Error())
+		return
+	}
+	h := &handle{data: data, xattrs: xattrs}
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		return
+	}
+	fd := sess.nextFD
+	sess.nextFD++
+	sess.fds[fd] = h
+	sess.mu.Unlock()
+	s.mu.Lock()
+	s.openFDs++
+	s.mu.Unlock()
+	sess.send(req.id, StatusOK, func(b []byte) []byte {
+		b = appendU32(b, fd)
+		return appendU64(b, uint64(len(h.data)))
+	})
+}
+
+// maxReadChunk keeps a read response within the frame limit.
+func (s *Server) maxReadChunk() int { return s.opts.MaxMessage - 64 }
+
+func (s *Server) handleRead(sess *session, req request) {
+	h, ok := sess.lookup(req.fd)
+	if !ok {
+		sess.sendError(req.id, vfs.ErrBadFD, fmt.Sprintf("fd %d", req.fd))
+		return
+	}
+	n := int(req.n)
+	if n > s.maxReadChunk() {
+		n = s.maxReadChunk()
+	}
+	h.mu.Lock()
+	if h.off >= len(h.data) {
+		h.mu.Unlock()
+		sess.send(req.id, StatusEOF, func(b []byte) []byte { return appendBlob(b, nil) })
+		return
+	}
+	if rem := len(h.data) - h.off; n > rem {
+		n = rem
+	}
+	chunk := h.data[h.off : h.off+n]
+	h.off += n
+	h.mu.Unlock()
+	s.ctr.Add(ctrBytesServed, int64(n))
+	sess.send(req.id, StatusOK, func(b []byte) []byte { return appendBlob(b, chunk) })
+}
+
+func (s *Server) handleReadAt(sess *session, req request) {
+	h, ok := sess.lookup(req.fd)
+	if !ok {
+		sess.sendError(req.id, vfs.ErrBadFD, fmt.Sprintf("fd %d", req.fd))
+		return
+	}
+	want := int(req.n)
+	if want > s.maxReadChunk() {
+		want = s.maxReadChunk()
+	}
+	off := int64(req.off)
+	if off < 0 || off >= int64(len(h.data)) {
+		sess.send(req.id, StatusEOF, func(b []byte) []byte { return appendBlob(b, nil) })
+		return
+	}
+	n := want
+	if rem := len(h.data) - int(off); n > rem {
+		n = rem
+	}
+	chunk := h.data[off : int(off)+n]
+	s.ctr.Add(ctrBytesServed, int64(n))
+	status := StatusOK
+	if n < int(req.n) {
+		status = StatusEOF // pread short of the request: data + EOF, like vfs.ReadAt
+	}
+	sess.send(req.id, status, func(b []byte) []byte { return appendBlob(b, chunk) })
+}
+
+func (sess *session) lookup(fd uint32) (*handle, bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	h, ok := sess.fds[fd]
+	return h, ok
+}
+
+// --- materialization + read-ahead ---
+
+// materialize resolves a path to its payload and metadata, serving batch
+// views from the prefetch cache when the sequential read-ahead got there
+// first, and scheduling the next views of the sequence either way.
+func (s *Server) materialize(path string) ([]byte, map[string]string, error) {
+	parsed, perr := vfs.ParsePath(path)
+	if perr != nil || parsed.Kind != vfs.KindBatchView || s.opts.ReadAhead == 0 {
+		return s.load(path)
+	}
+	if e := s.raTake(path); e != nil {
+		<-e.done
+		if e.err == nil {
+			s.ctr.Add(ctrRAHit, 1)
+			s.scheduleReadahead(parsed)
+			return e.data, e.xattrs, nil
+		}
+		// A failed prefetch is not a hit; fall through to a live load.
+	}
+	s.ctr.Add(ctrRAMiss, 1)
+	data, xattrs, err := s.load(path)
+	if err == nil {
+		s.scheduleReadahead(parsed)
+	}
+	return data, xattrs, err
+}
+
+// load materializes one view through the mount, capturing payload and
+// all xattrs, then releases the underlying descriptor immediately.
+func (s *Server) load(path string) ([]byte, map[string]string, error) {
+	fd, err := s.mount.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer s.mount.Close(fd)
+	data, err := s.mount.ReadAll(fd)
+	if err != nil {
+		return nil, nil, err
+	}
+	xattrs := map[string]string{}
+	if names, err := s.mount.Listxattr(fd); err == nil {
+		for _, name := range names {
+			if v, err := s.mount.Getxattr(fd, name); err == nil {
+				xattrs[name] = v
+			}
+		}
+	}
+	return data, xattrs, nil
+}
+
+// raTake claims (and removes) the prefetch entry for path, if any.
+func (s *Server) raTake(path string) *raEntry {
+	s.ramu.Lock()
+	defer s.ramu.Unlock()
+	e, ok := s.ra[path]
+	if !ok {
+		return nil
+	}
+	delete(s.ra, path)
+	for i, p := range s.raOrder {
+		if p == path {
+			s.raOrder = append(s.raOrder[:i], s.raOrder[i+1:]...)
+			break
+		}
+	}
+	return e
+}
+
+// scheduleReadahead prefetches the next ReadAhead iterations of the
+// batch sequence containing p. Prefetches past the end of an epoch fail
+// inside their goroutine and simply aren't cached as successes.
+func (s *Server) scheduleReadahead(p vfs.Path) {
+	s.ramu.Lock()
+	defer s.ramu.Unlock()
+	for i := 1; i <= s.opts.ReadAhead; i++ {
+		next := vfs.BatchPath(p.Task, p.Epoch, p.Iteration+i)
+		if _, ok := s.ra[next]; ok {
+			continue
+		}
+		if len(s.ra) >= raCap && !s.evictOneLocked() {
+			return
+		}
+		e := &raEntry{done: make(chan struct{})}
+		s.ra[next] = e
+		s.raOrder = append(s.raOrder, next)
+		s.rawg.Add(1)
+		go func(path string, e *raEntry) {
+			defer s.rawg.Done()
+			defer close(e.done)
+			e.data, e.xattrs, e.err = s.load(path)
+			if e.err != nil {
+				// Don't cache failures: drop the entry so a later real
+				// open retries (and reports) the error itself.
+				s.raTake(path)
+			}
+		}(next, e)
+	}
+}
+
+// evictOneLocked drops the oldest completed prefetch entry. Returns false
+// if every cached entry is still materializing (then we skip scheduling
+// more rather than block).
+func (s *Server) evictOneLocked() bool {
+	for i, p := range s.raOrder {
+		e := s.ra[p]
+		if e == nil {
+			continue
+		}
+		select {
+		case <-e.done:
+			delete(s.ra, p)
+			s.raOrder = append(s.raOrder[:i], s.raOrder[i+1:]...)
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// --- response encoding ---
+
+// respPool recycles response frame buffers on the hot read path.
+var respPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 32<<10)
+		return &b
+	},
+}
+
+// send encodes and writes one response frame. payload (if non-nil)
+// appends the op-specific body.
+func (sess *session) send(id uint64, status uint8, payload func(b []byte) []byte) {
+	bp := respPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, 0, 0, 0, 0)
+	b = appendU64(b, id)
+	b = append(b, status)
+	if payload != nil {
+		b = payload(b)
+	}
+	b = finishFrame(b)
+	sess.wmu.Lock()
+	_, err := sess.conn.Write(b)
+	sess.wmu.Unlock()
+	if err != nil {
+		// The reader loop will notice the dead conn and reclaim state.
+		sess.conn.Close()
+	}
+	*bp = b
+	if cap(b) <= 1<<20 { // don't pin giant buffers in the pool
+		respPool.Put(bp)
+	}
+}
+
+func (sess *session) sendError(id uint64, err error, msg string) {
+	code := codeFor(err)
+	sess.send(id, StatusErr, func(b []byte) []byte {
+		b = appendU16(b, uint16(code))
+		return appendString(b, msg)
+	})
+}
+
+func (sess *session) sendStrings(id uint64, names []string) {
+	sess.send(id, StatusOK, func(b []byte) []byte {
+		b = appendU32(b, uint32(len(names)))
+		for _, n := range names {
+			b = appendString(b, n)
+		}
+		return b
+	})
+}
+
+func appendU16(dst []byte, v uint16) []byte { return append(dst, byte(v>>8), byte(v)) }
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

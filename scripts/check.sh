@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: vet, build, and race-test the whole tree. Run as
+# `make check` or directly. Every PR must leave this green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: all green"
