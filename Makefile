@@ -11,8 +11,9 @@ test:
 fuzz:
 	go test -run=xxx -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/viewserver/
 
-# Regenerate the paper's evaluation tables.
+# Hot-path benchmarks: writes BENCH_hotpath.json (ns/op, B/op, allocs/op
+# vs the pre-overhaul baseline). BENCHTIME=200x make bench for more laps.
 bench:
-	go test -bench=. -benchmem .
+	./scripts/bench.sh $(BENCHTIME)
 
 .PHONY: check test fuzz bench

@@ -9,12 +9,15 @@
 //	sandbench -fig 12         # one figure (2,3,4,5,11..20)
 //	sandbench -table 3        # Table 3 (lines of preprocessing code)
 //	sandbench -list           # list experiments
+//	sandbench -fig 12 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 )
 
@@ -36,7 +39,37 @@ func main() {
 	table := flag.String("table", "", "table number to run (e.g. 3)")
 	exp := flag.String("exp", "", "experiment id to run (e.g. ablation-k, fignaive)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	sort.Slice(experiments, func(i, j int) bool { return experiments[i].id < experiments[j].id })
 	if *list {

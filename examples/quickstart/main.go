@@ -109,8 +109,11 @@ func main() {
 
 	st := svc.Stats()
 	store := svc.StoreStats()
+	gop := svc.GOPStats()
 	fmt.Printf("\nengine: %d batches served (%d pre-materialized), %d frames decoded, %d objects reused\n",
 		st.BatchesServed, st.PrematHits, st.ObjectsDecoded, st.ObjectsReused)
 	fmt.Printf("cache:  %d objects in memory (%d bytes), hit/miss = %d/%d\n",
 		store.MemObjects, store.MemBytes, store.Hits, store.Misses)
+	fmt.Printf("gop:    hit rate %.1f%% (%d hits / %d misses), %d frames decoded once, %d extends\n",
+		100*gop.HitRate(), gop.Hits, gop.Misses, gop.FramesDecoded, gop.Extends)
 }

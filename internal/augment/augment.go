@@ -3,12 +3,17 @@
 // rotation, color jitter, grayscale, normalization, padding, saturation
 // and temporal inversion.
 //
-// Every operator implements Op, consumes a clip, and produces a new clip,
+// Every operator implements Op, consumes a clip, and produces a clip,
 // leaving its input untouched — the engine relies on that immutability when
-// it shares intermediate objects between tasks. Operators carry a stable
-// Signature() so the planner can detect when two tasks request identical
-// work (the precondition for merging nodes in the concrete object
-// dependency graph).
+// it shares intermediate objects between tasks. An operator that is an
+// identity for its sampled parameters (a flip that did not trigger, a
+// zero-turn rotation) may return its input clip unchanged, so callers must
+// not mutate returned clips either. Output frames are drawn from the
+// frame buffer pool (frame.NewPooled): every kernel fully overwrites its
+// destination, and the engine recycles dead intermediates. Operators
+// carry a stable Signature() so the planner can detect when two tasks
+// request identical work (the precondition for merging nodes in the
+// concrete object dependency graph).
 package augment
 
 import (
@@ -60,7 +65,10 @@ func (p Pipeline) Deterministic() bool {
 	return true
 }
 
-// Apply runs the pipeline.
+// Apply runs the pipeline, recycling intermediate clips: once stage i+1
+// has produced its output, stage i's frames are dead and their buffers
+// return to the frame pool (unless they alias the original input or the
+// new output, as identity stages do).
 func (p Pipeline) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
 	cur := clip
 	for i, op := range p {
@@ -68,9 +76,34 @@ func (p Pipeline) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
 		if err != nil {
 			return nil, fmt.Errorf("augment: stage %d (%s): %w", i, op.Name(), err)
 		}
+		if cur != clip && cur != next {
+			recycleClip(cur, next, clip)
+		}
 		cur = next
 	}
 	return cur, nil
+}
+
+// recycleClip returns dead's frame buffers to the pool, skipping any frame
+// still referenced by the live clips.
+func recycleClip(dead *frame.Clip, live ...*frame.Clip) {
+	for _, f := range dead.Frames {
+		alias := false
+		for _, l := range live {
+			for _, g := range l.Frames {
+				if g == f {
+					alias = true
+					break
+				}
+			}
+			if alias {
+				break
+			}
+		}
+		if !alias {
+			frame.Recycle(f)
+		}
+	}
 }
 
 // mapFrames applies fn to every frame, building a new clip.
@@ -128,7 +161,7 @@ func (r *Resize) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
 }
 
 func resizeNearest(f *frame.Frame, w, h int) *frame.Frame {
-	out := frame.New(w, h, f.C)
+	out := frame.NewPooled(w, h, f.C)
 	for c := 0; c < f.C; c++ {
 		src := f.Plane(c)
 		dst := out.Plane(c)
@@ -144,7 +177,7 @@ func resizeNearest(f *frame.Frame, w, h int) *frame.Frame {
 }
 
 func resizeBilinear(f *frame.Frame, w, h int) *frame.Frame {
-	out := frame.New(w, h, f.C)
+	out := frame.NewPooled(w, h, f.C)
 	// Fixed-point 16.16 source steps with half-pixel centers.
 	const fpShift = 16
 	const fpOne = 1 << fpShift
@@ -291,10 +324,10 @@ func (h *HFlip) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
 		do = rng.Float64() < h.Prob
 	}
 	if !do {
-		return clip.Clone(), nil
+		return clip, nil // identity: callers must not mutate returned clips
 	}
 	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
-		g := frame.New(f.W, f.H, f.C)
+		g := frame.NewPooled(f.W, f.H, f.C)
 		for c := 0; c < f.C; c++ {
 			src := f.Plane(c)
 			dst := g.Plane(c)
@@ -332,10 +365,10 @@ func (v *VFlip) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
 		do = rng.Float64() < v.Prob
 	}
 	if !do {
-		return clip.Clone(), nil
+		return clip, nil // identity: callers must not mutate returned clips
 	}
 	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
-		g := frame.New(f.W, f.H, f.C)
+		g := frame.NewPooled(f.W, f.H, f.C)
 		for c := 0; c < f.C; c++ {
 			src := f.Plane(c)
 			dst := g.Plane(c)
@@ -364,20 +397,24 @@ func (r *Rotate90) Deterministic() bool { return true }
 // Apply implements Op.
 func (r *Rotate90) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
 	turns := ((r.Turns % 4) + 4) % 4
+	if turns == 0 {
+		return clip, nil // identity: callers must not mutate returned clips
+	}
 	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
 		g := f
 		for t := 0; t < turns; t++ {
-			g = rotateCW(g)
-		}
-		if g == f {
-			g = f.Clone()
+			h := rotateCW(g)
+			if g != f {
+				frame.Recycle(g) // intermediate quarter-turn is dead
+			}
+			g = h
 		}
 		return g, nil
 	})
 }
 
 func rotateCW(f *frame.Frame) *frame.Frame {
-	g := frame.New(f.H, f.W, f.C)
+	g := frame.NewPooled(f.H, f.W, f.C)
 	for c := 0; c < f.C; c++ {
 		src := f.Plane(c)
 		dst := g.Plane(c)
@@ -413,7 +450,7 @@ func (j *ColorJitter) Deterministic() bool { return j.Brightness == 0 && j.Contr
 // Apply implements Op.
 func (j *ColorJitter) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
 	if j.Deterministic() {
-		return clip.Clone(), nil
+		return clip, nil // identity: callers must not mutate returned clips
 	}
 	if rng == nil {
 		return nil, fmt.Errorf("color_jitter: nil rng")
@@ -432,7 +469,7 @@ func (j *ColorJitter) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, erro
 		lut[i] = byte(v)
 	}
 	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
-		g := frame.New(f.W, f.H, f.C)
+		g := frame.NewPooled(f.W, f.H, f.C)
 		for i, v := range f.Pix {
 			g.Pix[i] = lut[v]
 		}
@@ -455,7 +492,7 @@ func (g *Grayscale) Deterministic() bool { return true }
 // Apply implements Op.
 func (g *Grayscale) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
 	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
-		out := frame.New(f.W, f.H, 1)
+		out := frame.NewPooled(f.W, f.H, 1)
 		n := f.W * f.H
 		for i := 0; i < n; i++ {
 			sum := 0
@@ -486,7 +523,7 @@ func (n *Normalize) Deterministic() bool { return true }
 // Apply implements Op.
 func (n *Normalize) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
 	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
-		g := frame.New(f.W, f.H, f.C)
+		g := frame.NewPooled(f.W, f.H, f.C)
 		for c := 0; c < f.C; c++ {
 			src := f.Plane(c)
 			dst := g.Plane(c)
@@ -525,9 +562,11 @@ func (s *InvSample) Deterministic() bool { return true }
 
 // Apply implements Op.
 func (s *InvSample) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
+	// The reversed clip shares the input's frames: recycling guards treat
+	// aliased frames as live, and no caller mutates clip contents.
 	out := make([]*frame.Frame, clip.Len())
 	for i, f := range clip.Frames {
-		out[clip.Len()-1-i] = f.Clone()
+		out[clip.Len()-1-i] = f
 	}
 	return frame.NewClip(out)
 }
@@ -560,11 +599,10 @@ func (p *Pad) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
 	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
 		w := f.W + p.Left + p.Right
 		h := f.H + p.Top + p.Bottom
-		g := frame.New(w, h, f.C)
-		if p.Value != 0 {
-			for i := range g.Pix {
-				g.Pix[i] = p.Value
-			}
+		g := frame.NewPooled(w, h, f.C)
+		// Pooled buffers hold stale pixels: always fill the border value.
+		for i := range g.Pix {
+			g.Pix[i] = p.Value
 		}
 		for c := 0; c < f.C; c++ {
 			src := f.Plane(c)
@@ -602,7 +640,7 @@ func (s *Saturation) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) 
 		if f.C != 3 {
 			return nil, fmt.Errorf("saturation: need 3 channels, got %d", f.C)
 		}
-		g := frame.New(f.W, f.H, 3)
+		g := frame.NewPooled(f.W, f.H, 3)
 		n := f.W * f.H
 		r, gr, b := f.Plane(0), f.Plane(1), f.Plane(2)
 		or, og, ob := g.Plane(0), g.Plane(1), g.Plane(2)

@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"sand/internal/frame"
 )
@@ -285,11 +287,47 @@ func predictTemporal(f, ref *frame.Frame, dst []byte) {
 	}
 }
 
+// deflaterPools and inflaterPool Reset-reuse flate state across frames:
+// encoding and random-access decoding otherwise rebuild a ~32-64KB flate
+// state machine for every single frame payload.
+var deflaterPools sync.Map // flate level -> *sync.Pool of *flate.Writer
+
+type inflater struct {
+	src bytes.Reader
+	fr  io.ReadCloser // also a flate.Resetter
+}
+
+var inflaterPool sync.Pool
+
+// poolStats counts coder reuse for the metrics layer.
+var poolStats struct {
+	writerReuse atomic.Int64
+	readerReuse atomic.Int64
+}
+
+// PoolStats snapshots the package's flate-pool counters.
+func PoolStats() map[string]int64 {
+	return map[string]int64{
+		"codec.flate.writer_reuse": poolStats.writerReuse.Load(),
+		"codec.flate.reader_reuse": poolStats.readerReuse.Load(),
+	}
+}
+
 func deflateBytes(b []byte, level int) ([]byte, error) {
 	var buf bytes.Buffer
-	fw, err := flate.NewWriter(&buf, level)
-	if err != nil {
-		return nil, err
+	poolAny, _ := deflaterPools.LoadOrStore(level, &sync.Pool{})
+	pool := poolAny.(*sync.Pool)
+	var fw *flate.Writer
+	if v := pool.Get(); v != nil {
+		fw = v.(*flate.Writer)
+		fw.Reset(&buf)
+		poolStats.writerReuse.Add(1)
+	} else {
+		var err error
+		fw, err = flate.NewWriter(&buf, level)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if _, err := fw.Write(b); err != nil {
 		return nil, err
@@ -297,17 +335,31 @@ func deflateBytes(b []byte, level int) ([]byte, error) {
 	if err := fw.Close(); err != nil {
 		return nil, err
 	}
+	pool.Put(fw)
 	return buf.Bytes(), nil
 }
 
 func inflateBytes(b []byte, dst []byte) error {
-	fr := flate.NewReader(bytes.NewReader(b))
-	defer fr.Close()
-	if _, err := io.ReadFull(fr, dst); err != nil {
+	var it *inflater
+	if v := inflaterPool.Get(); v != nil {
+		it = v.(*inflater)
+		it.src.Reset(b)
+		if err := it.fr.(flate.Resetter).Reset(&it.src, nil); err != nil {
+			return err
+		}
+		poolStats.readerReuse.Add(1)
+	} else {
+		it = &inflater{}
+		it.src.Reset(b)
+		it.fr = flate.NewReader(&it.src)
+	}
+	if _, err := io.ReadFull(it.fr, dst); err != nil {
 		return err
 	}
-	if _, err := fr.Read(make([]byte, 1)); err != io.EOF {
+	var one [1]byte
+	if _, err := it.fr.Read(one[:]); err != io.EOF {
 		return fmt.Errorf("codec: trailing data in frame payload: %v", err)
 	}
+	inflaterPool.Put(it)
 	return nil
 }

@@ -44,13 +44,20 @@ func (s *Stats) Reset() {
 // access seeks to the preceding keyframe and rolls forward (decode
 // amplification). A Decoder is not safe for concurrent use; create one per
 // goroutine and share the immutable *Video.
+//
+// Reconstruction ping-pongs between two internal pooled buffers, so a
+// roll-forward of N frames performs zero per-frame allocations; only the
+// frames the caller actually requests are copied out (Frame returns a
+// clone). Call Close when done to return the buffers to the frame pool.
 type Decoder struct {
 	v     *Video
 	stats *Stats
 	// last is the most recently reconstructed frame, lastIdx its number.
-	last    *frame.Frame
-	lastIdx int
-	scratch []byte
+	// last always aliases bufA or bufB.
+	last       *frame.Frame
+	lastIdx    int
+	scratch    []byte
+	bufA, bufB *frame.Frame
 }
 
 // NewDecoder creates a decoder over v. stats may be nil.
@@ -60,6 +67,56 @@ func NewDecoder(v *Video, stats *Stats) *Decoder {
 
 // Video returns the container being decoded.
 func (d *Decoder) Video() *Video { return d.v }
+
+// target returns the internal reconstruction buffer that does not hold
+// d.last, allocating lazily. Its contents are fully overwritten by the
+// reconstruction kernels before anyone reads them.
+func (d *Decoder) target() *frame.Frame {
+	if d.bufA == nil {
+		d.bufA = frame.NewPooled(d.v.W, d.v.H, d.v.C)
+	}
+	if d.last == d.bufA {
+		if d.bufB == nil {
+			d.bufB = frame.NewPooled(d.v.W, d.v.H, d.v.C)
+		}
+		return d.bufB
+	}
+	return d.bufA
+}
+
+// Prime seeds the decoder's reference state with an already-reconstructed
+// frame (which must be the bit-exact pixels of frame idx), so decoding
+// can continue from idx+1 without rolling forward from the keyframe. The
+// decoded-GOP cache uses this to extend a partially decoded GOP.
+func (d *Decoder) Prime(ref *frame.Frame, idx int) error {
+	if idx < 0 || idx >= d.v.FrameCount {
+		return fmt.Errorf("codec: prime index %d out of range [0,%d)", idx, d.v.FrameCount)
+	}
+	if ref == nil || ref.W != d.v.W || ref.H != d.v.H || ref.C != d.v.C {
+		return fmt.Errorf("codec: prime frame geometry mismatch")
+	}
+	t := d.target()
+	copy(t.Pix, ref.Pix)
+	t.Index = idx
+	t.PTS = int64(idx) * 1000 / int64(d.v.FPS)
+	d.last, d.lastIdx = t, idx
+	return nil
+}
+
+// Close returns the decoder's internal buffers to the frame pool. The
+// decoder must not be used afterwards.
+func (d *Decoder) Close() {
+	d.last = nil
+	d.lastIdx = -1
+	if d.bufA != nil {
+		frame.Recycle(d.bufA)
+		d.bufA = nil
+	}
+	if d.bufB != nil {
+		frame.Recycle(d.bufB)
+		d.bufB = nil
+	}
+}
 
 // decodeOne reconstructs frame i assuming its reference (i-1, for P-frames)
 // is already in d.last.
@@ -77,7 +134,9 @@ func (d *Decoder) decodeOne(i int) (*frame.Frame, error) {
 	if err := inflateBytes(data[start:start+sz], d.scratch); err != nil {
 		return nil, fmt.Errorf("codec: frame %d: %w", i, err)
 	}
-	f := frame.New(d.v.W, d.v.H, d.v.C)
+	// Reconstruct into the ping-pong buffer not holding the reference;
+	// both kernels below overwrite every sample.
+	f := d.target()
 	f.Index = i
 	f.PTS = int64(i) * 1000 / int64(d.v.FPS)
 	switch e.ftype {

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"sand/internal/codec"
+	"sand/internal/dataset"
+	"sand/internal/frame"
+	"sand/internal/sched"
+	"sand/internal/storage"
+)
+
+// gopCache is the cross-sample decoded-GOP cache: samples whose frame
+// indices land in the same group of pictures decode it once and share the
+// reconstructed frames. This is where the paper's decode-amplification
+// argument pays off at runtime — random access to frame n costs decoding
+// the whole keyframe-to-n prefix, so the prefix is cached per GOP and
+// grown lazily ("extension") instead of being re-rolled per sample.
+//
+// Entries are ref-counted: a materialization pins every GOP it touches
+// through a gopLease and releases them when the sample completes, so
+// eviction can never drop a GOP out from under a running sample. Cached
+// frames are shared read-only and never recycled into the frame pool.
+//
+// The cache is bounded by a byte budget and integrated with the storage
+// tier's memory-pressure signal: above the store's 75% eviction threshold
+// the effective budget halves, and above the scheduler's 80% SJF pressure
+// threshold it quarters, so the GOP cache yields memory to the object
+// store exactly when the rest of the engine is shedding load.
+type gopCache struct {
+	budget   int64
+	pressure func() float64 // store fill fraction in [0,1]; may be nil
+
+	mu      sync.Mutex
+	entries map[gopKey]*gopEntry
+	bytes   int64
+	clock   int64 // LRU tick
+
+	// counters (guarded by mu; snapshot via statsLocked)
+	hits, misses, extends, evictions int64
+	framesDecoded, bytesDecoded      int64
+}
+
+type gopKey struct {
+	video string
+	start int // keyframe index opening the GOP
+}
+
+// gopEntry holds the decoded prefix of one GOP: frames[i] is the
+// reconstructed frame start+i, for start <= idx <= decodedThrough.
+type gopEntry struct {
+	key   gopKey
+	ready chan struct{} // closed when the initial build completes
+
+	// guarded by gopCache.mu
+	refs    int
+	lastUse int64
+	bytes   int64
+
+	// mu serializes build/extend; frames[:decodedThrough-start+1] are
+	// immutable once published and shared read-only across samples.
+	mu             sync.Mutex
+	frames         []*frame.Frame
+	decodedThrough int
+	err            error
+}
+
+func newGOPCache(budget int64, pressure func() float64) *gopCache {
+	if budget <= 0 {
+		budget = 64 << 20
+	}
+	return &gopCache{budget: budget, pressure: pressure, entries: map[gopKey]*gopEntry{}}
+}
+
+// acquire pins the GOP containing idx, building (decoding) it on first
+// touch. The caller must release the returned entry exactly once.
+func (c *gopCache) acquire(ent *dataset.Entry, idx int) (*gopEntry, error) {
+	k, err := ent.Video.KeyframeBefore(idx)
+	if err != nil {
+		return nil, err
+	}
+	key := gopKey{video: ent.Spec.Name, start: k}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		e.refs++
+		c.clock++
+		e.lastUse = c.clock
+		c.hits++
+		c.mu.Unlock()
+		return e, nil
+	}
+	e := &gopEntry{key: key, ready: make(chan struct{}), refs: 1}
+	c.clock++
+	e.lastUse = c.clock
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	c.build(ent, e, k, idx)
+	return e, nil
+}
+
+// build decodes frames k..idx into e and publishes the entry.
+func (c *gopCache) build(ent *dataset.Entry, e *gopEntry, k, idx int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer close(e.ready)
+	dec := codec.NewDecoder(ent.Video, nil)
+	defer dec.Close()
+	frames := make([]*frame.Frame, 0, idx-k+1)
+	var bytes int64
+	for j := k; j <= idx; j++ {
+		f, err := dec.Frame(j)
+		if err != nil {
+			e.err = err
+			return
+		}
+		frames = append(frames, f)
+		bytes += int64(f.Bytes())
+	}
+	e.frames = frames
+	e.decodedThrough = idx
+	c.account(e, bytes, int64(len(frames)))
+}
+
+// extend grows e's decoded prefix through idx, priming a decoder with the
+// deepest already-reconstructed frame so no roll-forward work repeats.
+func (c *gopCache) extend(ent *dataset.Entry, e *gopEntry, idx int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return e.err
+	}
+	if idx <= e.decodedThrough {
+		return nil
+	}
+	dec := codec.NewDecoder(ent.Video, nil)
+	defer dec.Close()
+	if err := dec.Prime(e.frames[len(e.frames)-1], e.decodedThrough); err != nil {
+		return err
+	}
+	var bytes, n int64
+	for j := e.decodedThrough + 1; j <= idx; j++ {
+		f, err := dec.Frame(j)
+		if err != nil {
+			return err
+		}
+		e.frames = append(e.frames, f)
+		e.decodedThrough = j
+		bytes += int64(f.Bytes())
+		n++
+	}
+	c.account(e, bytes, n)
+	c.mu.Lock()
+	c.extends++
+	c.mu.Unlock()
+	return nil
+}
+
+// account records freshly decoded bytes/frames and enforces the budget.
+func (c *gopCache) account(e *gopEntry, bytes, frames int64) {
+	c.mu.Lock()
+	e.bytes += bytes
+	c.bytes += bytes
+	c.bytesDecoded += bytes
+	c.framesDecoded += frames
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// release unpins an entry and evicts if the cache is over budget.
+func (c *gopCache) release(e *gopEntry) {
+	c.mu.Lock()
+	if e.refs <= 0 {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("core: gop cache release without acquire: %+v", e.key))
+	}
+	e.refs--
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// effectiveBudgetLocked shrinks the budget under memory pressure: half
+// beyond the store's 75% eviction threshold, a quarter beyond the
+// scheduler's 80% SJF switch.
+func (c *gopCache) effectiveBudgetLocked() int64 {
+	b := c.budget
+	if c.pressure == nil {
+		return b
+	}
+	switch p := c.pressure(); {
+	case p >= sched.MemoryPressureThreshold:
+		return b / 4
+	case p >= storage.EvictionThreshold:
+		return b / 2
+	}
+	return b
+}
+
+// evictLocked drops least-recently-used unpinned GOPs until the cache
+// fits its (pressure-adjusted) budget. Pinned entries are never dropped;
+// their frames stay valid for every lease holder.
+func (c *gopCache) evictLocked() {
+	limit := c.effectiveBudgetLocked()
+	for c.bytes > limit {
+		var victim *gopEntry
+		for _, e := range c.entries {
+			if e.refs > 0 {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // everything pinned: over-budget until releases arrive
+		}
+		delete(c.entries, victim.key)
+		c.bytes -= victim.bytes
+		c.evictions++
+		// Frames are shared read-only and may still be referenced by
+		// batches in flight; the GC reclaims them. Never recycle here.
+	}
+}
+
+// gopStats is a counter snapshot for the metrics layer.
+type gopStats struct {
+	Hits, Misses, Extends, Evictions int64
+	FramesDecoded, BytesDecoded      int64
+	Bytes                            int64
+	Entries                          int
+}
+
+func (c *gopCache) stats() gopStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return gopStats{
+		Hits: c.hits, Misses: c.misses, Extends: c.extends, Evictions: c.evictions,
+		FramesDecoded: c.framesDecoded, BytesDecoded: c.bytesDecoded,
+		Bytes: c.bytes, Entries: len(c.entries),
+	}
+}
+
+// lease opens a per-materialization view of the cache that pins each
+// touched GOP once and releases them all when the sample completes.
+func (c *gopCache) lease() *gopLease {
+	return &gopLease{c: c, held: map[gopKey]*gopEntry{}}
+}
+
+// frameOnce serves a single decoded frame with no lasting pin — the
+// one-shot path for frame views. The returned frame stays valid after
+// release because cached frames are never recycled.
+func (c *gopCache) frameOnce(ent *dataset.Entry, idx int) (*frame.Frame, error) {
+	e, err := c.acquire(ent, idx)
+	if err != nil {
+		return nil, err
+	}
+	defer c.release(e)
+	return c.frameFrom(ent, e, idx)
+}
+
+// frameFrom waits for e to be ready, extends it if needed, and returns
+// the shared frame idx. Callers must hold a reference on e.
+func (c *gopCache) frameFrom(ent *dataset.Entry, e *gopEntry, idx int) (*frame.Frame, error) {
+	<-e.ready
+	e.mu.Lock()
+	errBuild, through := e.err, e.decodedThrough
+	e.mu.Unlock()
+	if errBuild != nil {
+		return nil, errBuild
+	}
+	if idx > through {
+		if err := c.extend(ent, e, idx); err != nil {
+			return nil, err
+		}
+	}
+	e.mu.Lock()
+	f := e.frames[idx-e.key.start]
+	e.mu.Unlock()
+	return f, nil
+}
+
+// gopLease tracks the GOP entries one sample materialization has pinned.
+// It is safe for concurrent use by the intra-sample worker group.
+type gopLease struct {
+	c    *gopCache
+	mu   sync.Mutex
+	held map[gopKey]*gopEntry
+}
+
+// frame returns the shared decoded frame idx of ent's video, pinning its
+// GOP for the lifetime of the lease. The frame is shared read-only: the
+// caller must not mutate or recycle it.
+func (l *gopLease) frame(ent *dataset.Entry, idx int) (*frame.Frame, error) {
+	k, err := ent.Video.KeyframeBefore(idx)
+	if err != nil {
+		return nil, err
+	}
+	key := gopKey{video: ent.Spec.Name, start: k}
+	l.mu.Lock()
+	e, ok := l.held[key]
+	l.mu.Unlock()
+	if !ok {
+		fresh, err := l.c.acquire(ent, idx)
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		if prev, dup := l.held[key]; dup {
+			// A concurrent intra-sample worker pinned this GOP first.
+			l.mu.Unlock()
+			l.c.release(fresh)
+			e = prev
+		} else {
+			l.held[key] = fresh
+			l.mu.Unlock()
+			e = fresh
+		}
+	}
+	return l.c.frameFrom(ent, e, idx)
+}
+
+// release unpins every GOP the lease holds. The lease is unusable after.
+func (l *gopLease) release() {
+	l.mu.Lock()
+	held := l.held
+	l.held = nil
+	l.mu.Unlock()
+	for _, e := range held {
+		l.c.release(e)
+	}
+}

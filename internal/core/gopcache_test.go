@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sand/internal/codec"
+	"sand/internal/config"
+	"sand/internal/dataset"
+	"sand/internal/frame"
+	"sand/internal/sched"
+)
+
+// gopTestEntry builds a small deterministic video wrapped in a dataset
+// entry, matching what the materialization engine hands the cache.
+func gopTestEntry(t testing.TB, name string, frames, gop int) *dataset.Entry {
+	t.Helper()
+	w, h, c := 32, 24, 3
+	raw := make([]*frame.Frame, frames)
+	for i := range raw {
+		f := frame.New(w, h, c)
+		for j := range f.Pix {
+			f.Pix[j] = byte((i*131 + j*7) % 251)
+		}
+		f.Index = i
+		raw[i] = f
+	}
+	clip, err := frame.NewClip(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := codec.Encode(clip, codec.EncodeParams{GOP: gop, FPS: 10})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	ent := &dataset.Entry{Video: v}
+	ent.Spec.Name = name
+	return ent
+}
+
+// decodeRef decodes frame idx the slow way for comparison.
+func decodeRef(t testing.TB, ent *dataset.Entry, idx int) *frame.Frame {
+	t.Helper()
+	dec := codec.NewDecoder(ent.Video, nil)
+	defer dec.Close()
+	f, err := dec.Frame(idx)
+	if err != nil {
+		t.Fatalf("reference decode %d: %v", idx, err)
+	}
+	return f
+}
+
+func framesEqual(a, b *frame.Frame) bool {
+	if a.W != b.W || a.H != b.H || a.C != b.C {
+		return false
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGOPCacheConcurrentSameGOP hammers one GOP from many goroutines:
+// exactly one build must happen, and every caller must observe identical
+// correct pixels. Run under -race this doubles as the shared-read check.
+func TestGOPCacheConcurrentSameGOP(t *testing.T) {
+	ent := gopTestEntry(t, "samegop", 30, 30) // one GOP
+	c := newGOPCache(1<<30, nil)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lease := c.lease()
+			defer lease.release()
+			for _, idx := range []int{5 + g%3, 12, 29 - g%5} {
+				f, err := lease.frame(ent, idx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if f.Index != idx {
+					errs <- fmt.Errorf("goroutine %d: frame index %d, want %d", g, f.Index, idx)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := c.stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 build for one GOP", st.Misses)
+	}
+	if st.Hits < goroutines-1 {
+		t.Fatalf("hits = %d, want >= %d", st.Hits, goroutines-1)
+	}
+	// Pixel correctness against an independent decoder.
+	for _, idx := range []int{5, 12, 29} {
+		got, err := c.frameOnce(ent, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !framesEqual(got, decodeRef(t, ent, idx)) {
+			t.Fatalf("frame %d pixels differ from reference decode", idx)
+		}
+	}
+}
+
+// TestGOPCacheConcurrentAdjacentGOPs exercises concurrent builds of
+// different GOPs of one video plus extension races: goroutines ask for
+// deepening indices within each GOP, so extends interleave with hits.
+func TestGOPCacheConcurrentAdjacentGOPs(t *testing.T) {
+	ent := gopTestEntry(t, "adjacent", 90, 30) // GOPs at 0, 30, 60
+	c := newGOPCache(1<<30, nil)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lease := c.lease()
+			defer lease.release()
+			base := (g % 3) * 30
+			// Ascending depth within the GOP forces extension under load.
+			for _, off := range []int{3, 7 + g%4, 15, 29} {
+				idx := base + off
+				f, err := lease.frame(ent, idx)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d frame %d: %w", g, idx, err)
+					return
+				}
+				if f.Index != idx {
+					errs <- fmt.Errorf("goroutine %d: got index %d, want %d", g, f.Index, idx)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := c.stats()
+	if st.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (one build per GOP)", st.Misses)
+	}
+	// Spot-check deep frames in each GOP against a reference decoder.
+	for _, idx := range []int{29, 59, 89} {
+		got, err := c.frameOnce(ent, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !framesEqual(got, decodeRef(t, ent, idx)) {
+			t.Fatalf("frame %d pixels differ from reference decode", idx)
+		}
+	}
+}
+
+// TestGOPCacheByteBudgetEviction verifies the byte accounting: filling
+// the cache past its budget evicts LRU unpinned entries and the resident
+// byte count stays within the limit once nothing is pinned.
+func TestGOPCacheByteBudgetEviction(t *testing.T) {
+	ent := gopTestEntry(t, "evict", 100, 10) // 10 GOPs of 10 frames
+	frameBytes := int64(32 * 24 * 3)
+	budget := 25 * frameBytes // fits ~2.5 GOPs of 10 frames
+	c := newGOPCache(budget, nil)
+
+	for idx := 9; idx < 100; idx += 10 { // touch the deep end of every GOP
+		if _, err := c.frameOnce(ent, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.stats()
+	if st.Bytes > budget {
+		t.Fatalf("resident bytes %d exceed budget %d after releases", st.Bytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions after decoding 10 GOPs into a %d-byte budget", budget)
+	}
+	if st.Entries > 2 {
+		t.Fatalf("entries = %d, want <= 2 under budget %d", st.Entries, budget)
+	}
+	// Evicted GOPs rebuild correctly on next access.
+	got, err := c.frameOnce(ent, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !framesEqual(got, decodeRef(t, ent, 9)) {
+		t.Fatalf("rebuilt frame 9 differs from reference decode")
+	}
+}
+
+// TestGOPCacheEvictionVsRefHolder races eviction pressure against live
+// lease holders: pinned GOPs must survive (their frames stay correct)
+// while the cache sheds only unpinned entries.
+func TestGOPCacheEvictionVsRefHolder(t *testing.T) {
+	ent := gopTestEntry(t, "pinned", 100, 10)
+	frameBytes := int64(32 * 24 * 3)
+	c := newGOPCache(15*frameBytes, nil) // ~1.5 GOPs
+
+	// Pin GOP 0 fully decoded.
+	lease := c.lease()
+	pinned, err := lease.frame(ent, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := decodeRef(t, ent, 9)
+
+	// Concurrent churn decodes every other GOP, forcing eviction scans
+	// while the pin is held.
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				idx := ((g+round)%9+1)*10 + 9
+				if _, err := c.frameOnce(ent, idx); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The pinned frame must still be intact and resident.
+	if !framesEqual(pinned, want) {
+		t.Fatalf("pinned frame corrupted during eviction churn")
+	}
+	again, err := lease.frame(ent, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pinned {
+		t.Fatalf("pinned GOP was evicted while leased")
+	}
+	lease.release()
+
+	// After release the pinned GOP becomes evictable; budget reasserts.
+	for idx := 19; idx < 100; idx += 10 {
+		if _, err := c.frameOnce(ent, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.stats(); st.Bytes > 15*frameBytes {
+		t.Fatalf("bytes %d over budget with no pins", st.Bytes)
+	}
+}
+
+// TestGOPCachePressureShrinksBudget drives the pressure signal through
+// the storage and scheduler thresholds and checks the effective budget.
+func TestGOPCachePressureShrinksBudget(t *testing.T) {
+	var pressure float64
+	var mu sync.Mutex
+	c := newGOPCache(1000, func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return pressure
+	})
+	set := func(p float64) {
+		mu.Lock()
+		pressure = p
+		mu.Unlock()
+	}
+	get := func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.effectiveBudgetLocked()
+	}
+	if b := get(); b != 1000 {
+		t.Fatalf("no pressure: budget %d, want 1000", b)
+	}
+	set(0.76) // above storage.EvictionThreshold
+	if b := get(); b != 500 {
+		t.Fatalf("eviction pressure: budget %d, want 500", b)
+	}
+	set(0.85) // above sched.MemoryPressureThreshold
+	if b := get(); b != 250 {
+		t.Fatalf("SJF pressure: budget %d, want 250", b)
+	}
+}
+
+// TestMaterializeChainParallelMatchesSerial locks in the determinism
+// guarantee of intra-sample fan-out: a sample materialized with the pool
+// saturated (serial path, Idle()==0) and with idle workers (fan-out
+// path) yields identical bytes end-to-end through the real service.
+func TestMaterializeChainParallelMatchesSerial(t *testing.T) {
+	build := func(saturate bool) []byte {
+		s, err := New(Options{
+			Tasks:       []*config.Task{miniTask(t, "par")},
+			Dataset:     miniDataset(t, 4),
+			ChunkEpochs: 2,
+			TotalEpochs: 2,
+			MemBudget:   64 << 20,
+			Workers:     4,
+			Coordinate:  true,
+			Seed:        5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if saturate {
+			// Park every worker on a blocked task so Idle()==0 and the
+			// chain takes the serial path.
+			var started sync.WaitGroup
+			release := make(chan struct{})
+			for i := 0; i < 4; i++ {
+				started.Add(1)
+				err := s.pool.Submit(&sched.Task{
+					Key:  fmt.Sprintf("block%d", i),
+					Kind: sched.Demand,
+					Run: func() error {
+						started.Done()
+						<-release
+						return nil
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			started.Wait()
+			defer close(release)
+			if idle := s.pool.Idle(); idle != 0 {
+				t.Fatalf("pool not saturated: Idle() = %d", idle)
+			}
+		}
+		samples, err := s.scheduleFor(iterationKey{"par", 0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []byte
+		for _, sm := range samples {
+			clip, err := s.materializeSampleClip(sm, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range clip.Frames {
+				out = append(out, f.Pix...)
+			}
+		}
+		return out
+	}
+	serial := build(true)    // saturated pool: serial path
+	parallel := build(false) // idle workers: fan-out path
+	if len(serial) == 0 {
+		t.Fatal("no frame data materialized")
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("length mismatch: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("byte %d differs between serial and parallel materialization", i)
+		}
+	}
+}

@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
-	"sand/internal/codec"
 	"sand/internal/dataset"
 	"sand/internal/frame"
 	"sand/internal/graph"
@@ -29,10 +29,13 @@ func batchKey(task string, epoch, iter int) string {
 	return fmt.Sprintf("/batch/%s/%d/%d", task, epoch, iter)
 }
 
+// sigReplacer is shared: strings.Replacer is safe for concurrent use and
+// building one per call dominated the sanitize cost on the hot path.
+var sigReplacer = strings.NewReplacer("/", "_", "|", "+", "(", "", ")", "", ",", ".")
+
 // sanitizeSig makes an op signature safe as a single path segment.
 func sanitizeSig(sig string) string {
-	r := strings.NewReplacer("/", "_", "|", "+", "(", "", ")", "", ",", ".")
-	return r.Replace(sig)
+	return sigReplacer.Replace(sig)
 }
 
 // cumulativeSig renders the signature prefix of ops[:d].
@@ -58,20 +61,21 @@ func nodeAtDepth(leaf *graph.Node, total, d int) *graph.Node {
 // materializeSampleClip produces the final clip for one planned sample,
 // reusing every cached object it can find. A sample with several chains
 // (a multi/merge pipeline) yields the ordered concatenation of its
-// chains' clips; decoded source frames are shared across chains through
-// a local map so multi-branch pipelines decode each frame once. deadline
-// is the scheduling deadline attached to objects it stores.
+// chains' clips; decoded source frames are shared across chains — and
+// across concurrent samples — through the engine's decoded-GOP cache,
+// pinned for the duration of the call by a lease. deadline is the
+// scheduling deadline attached to objects it stores.
 func (s *Service) materializeSampleClip(sm *graph.Sample, deadline int64) (*frame.Clip, error) {
 	ent, ok := s.snapshot().Find(sm.Video)
 	if !ok || ent.Video == nil {
 		return nil, fmt.Errorf("core: video %q not in dataset", sm.Video)
 	}
-	// rawCache holds frames decoded during this call, shared by chains.
-	rawCache := map[int]*frame.Frame{}
+	lease := s.gops.lease()
+	defer lease.release()
 
 	var out []*frame.Frame
 	for ci, chain := range sm.Chains {
-		clipFrames, err := s.materializeChain(sm, ci, chain, ent, rawCache, deadline)
+		clipFrames, err := s.materializeChain(sm, ci, chain, ent, lease, deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -85,88 +89,115 @@ func (s *Service) materializeSampleClip(sm *graph.Sample, deadline int64) (*fram
 	return frame.NewClip(out)
 }
 
-// materializeChain produces one chain's frames for a sample.
+// materializeChain produces one chain's frames for a sample. Each frame
+// position is independent (ops are resolved at plan time, so there is no
+// cross-frame randomness), which lets the chain fan positions out across
+// a bounded worker group when the scheduling pool has idle capacity.
+// Output order is deterministic regardless of worker count: workers write
+// only their own out[pos] slot.
 func (s *Service) materializeChain(sm *graph.Sample, ci int, chain *graph.ResolvedChain,
-	ent *dataset.Entry, rawCache map[int]*frame.Frame, deadline int64) ([]*frame.Frame, error) {
+	ent *dataset.Entry, lease *gopLease, deadline int64) ([]*frame.Frame, error) {
 
 	total := len(chain.Ops)
 	out := make([]*frame.Frame, len(sm.FrameIndices))
-	// missing tracks frames that need decoding: position -> source index.
-	var missingPos []int
-	var missingIdx []int
 
-	for pos, idx := range sm.FrameIndices {
-		if f, ok := rawCache[idx]; ok {
-			g, err := s.applyOps(sm, ci, chain, f.Clone(), 0, idx, deadline)
-			if err != nil {
-				return nil, err
-			}
-			out[pos] = g
-			continue
-		}
+	work := func(pos, idx int) error {
+		// Deepest cached augmentation prefix in the object store wins;
+		// DecodeFrame hands us an exclusively owned frame.
 		f, fromDepth, err := s.loadBestCached(sm, chain, idx, total)
+		owned := true
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if f == nil {
-			missingPos = append(missingPos, pos)
-			missingIdx = append(missingIdx, idx)
-			continue
-		}
-		s.countReuse()
-		g, err := s.applyOps(sm, ci, chain, f, fromDepth, idx, deadline)
-		if err != nil {
-			return nil, err
-		}
-		out[pos] = g
-	}
-
-	if len(missingIdx) > 0 {
-		// Decode all missing frames in one ascending pass.
-		order := make([]int, len(missingIdx))
-		for i := range order {
-			order[i] = i
-		}
-		sort.Slice(order, func(a, b int) bool { return missingIdx[order[a]] < missingIdx[order[b]] })
-		sortedIdx := make([]int, 0, len(missingIdx))
-		for _, o := range order {
-			if len(sortedIdx) == 0 || sortedIdx[len(sortedIdx)-1] != missingIdx[o] {
-				sortedIdx = append(sortedIdx, missingIdx[o])
+		if f != nil {
+			s.countReuse()
+		} else {
+			// Raw decode through the shared GOP cache: the frame is
+			// shared read-only with other samples, never recycled.
+			f, err = lease.frame(ent, idx)
+			if err != nil {
+				return fmt.Errorf("core: decode %s: %w", sm.Video, err)
 			}
-		}
-		dec := codec.NewDecoder(ent.Video, nil)
-		decoded, err := dec.Frames(sortedIdx)
-		if err != nil {
-			return nil, fmt.Errorf("core: decode %s: %w", sm.Video, err)
-		}
-		byIdx := make(map[int]*frame.Frame, len(decoded))
-		for _, f := range decoded {
-			byIdx[f.Index] = f
-			rawCache[f.Index] = f
-		}
-		s.mu.Lock()
-		s.stats.ObjectsDecoded += int64(len(decoded))
-		s.mu.Unlock()
-		for i, pos := range missingPos {
-			idx := missingIdx[i]
-			f := byIdx[idx]
-			if f == nil {
-				return nil, fmt.Errorf("core: decoder lost frame %d", idx)
-			}
+			owned = false
+			fromDepth = 0
 			// Cache the decoded frame if the plan says so.
 			if fn := nodeAtDepth(sm.Leaves[ci][pos], total, 0); fn != nil && fn.Cached {
 				if err := s.storeFrame(frameKey(sm.Video, idx), f, deadline, false); err != nil {
-					return nil, err
+					return err
 				}
 			}
-			g, err := s.applyOps(sm, ci, chain, f.Clone(), 0, idx, deadline)
-			if err != nil {
+		}
+		g, err := s.applyOps(sm, ci, chain, f, owned, fromDepth, idx, deadline)
+		if err != nil {
+			return err
+		}
+		out[pos] = g
+		return nil
+	}
+
+	workers := s.intraSampleWorkers(len(sm.FrameIndices))
+	if workers <= 1 {
+		for pos, idx := range sm.FrameIndices {
+			if err := work(pos, idx); err != nil {
 				return nil, err
 			}
-			out[pos] = g
 		}
+		return out, nil
+	}
+
+	var (
+		wg      sync.WaitGroup
+		nextPos int64
+		errMu   sync.Mutex
+		firstAt = -1 // position of the earliest-position error
+		fanErr  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				pos := int(atomic.AddInt64(&nextPos, 1)) - 1
+				if pos >= len(sm.FrameIndices) {
+					return
+				}
+				errMu.Lock()
+				bail := fanErr != nil
+				errMu.Unlock()
+				if bail {
+					return
+				}
+				if err := work(pos, sm.FrameIndices[pos]); err != nil {
+					errMu.Lock()
+					if fanErr == nil || pos < firstAt {
+						fanErr, firstAt = err, pos
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fanErr != nil {
+		return nil, fanErr
 	}
 	return out, nil
+}
+
+// intraSampleWorkers sizes the worker group for one chain: the calling
+// goroutine plus however many pool workers are idle, capped at the number
+// of frame positions. Queued pool tasks always win the idle workers — the
+// fan-out only borrows capacity nobody else wants.
+func (s *Service) intraSampleWorkers(n int) int {
+	if n <= 1 || s.pool == nil {
+		return 1
+	}
+	w := s.pool.Idle() + 1
+	if w > n {
+		w = n
+	}
+	return w
 }
 
 // loadBestCached searches the store for the deepest cached prefix of one
@@ -196,22 +227,37 @@ func (s *Service) loadBestCached(sm *graph.Sample, chain *graph.ResolvedChain, i
 }
 
 // applyOps runs chain.Ops[fromDepth:] on f, storing intermediate objects
-// whose plan nodes are cached.
+// whose plan nodes are cached. owned reports whether f is exclusively
+// ours: owned intermediates are recycled into the frame pool as soon as
+// the next op replaces them, while shared frames (GOP-cache hits, which
+// identity ops pass through untouched) are left alone.
 func (s *Service) applyOps(sm *graph.Sample, ci int, chain *graph.ResolvedChain,
-	f *frame.Frame, fromDepth, idx int, deadline int64) (*frame.Frame, error) {
+	f *frame.Frame, owned bool, fromDepth, idx int, deadline int64) (*frame.Frame, error) {
 	total := len(chain.Ops)
 	cur := f
+	// One reusable single-frame wrapper: ops treat the clip as read-only
+	// input, so rebinding Frames[0] each depth is safe and allocation-free.
+	wrapper := &frame.Clip{Frames: []*frame.Frame{nil}}
 	for d := fromDepth; d < total; d++ {
-		clip, err := frame.NewClip([]*frame.Frame{cur})
-		if err != nil {
-			return nil, err
-		}
-		res, err := chain.Ops[d].Op.Apply(clip, nil)
+		wrapper.Frames[0] = cur
+		res, err := chain.Ops[d].Op.Apply(wrapper, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: op %s on %s frame %d: %w", chain.Ops[d].Op.Name(), sm.Video, idx, err)
 		}
-		cur = res.Frames[0]
-		cur.Index = idx
+		nxt := res.Frames[0]
+		if nxt != cur {
+			if owned {
+				frame.Recycle(cur)
+			}
+			owned = true // freshly produced by the op: exclusively ours
+		}
+		cur = nxt
+		// Shared frames already carry the right index (they were decoded
+		// as frame idx); skipping the redundant write keeps them strictly
+		// read-only across concurrent samples.
+		if cur.Index != idx {
+			cur.Index = idx
+		}
 		if node := nodeAtDepth(findLeaf(sm, ci, idx), total, d+1); node != nil && node.Cached {
 			key := augKey(sm.Video, idx, cumulativeSig(chain.Ops, d+1))
 			if err := s.storeFrame(key, cur, deadline, false); err != nil {

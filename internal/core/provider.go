@@ -87,14 +87,12 @@ func (s *Service) materializeFrameView(p vfs.Path) ([]byte, map[string]string, e
 		s.store.MarkUsed(frameKey(p.Video, p.Frame))
 		return obj.Data, frameXattrs(p, ent.Video), nil
 	}
-	dec := codec.NewDecoder(ent.Video, nil)
-	f, err := dec.Frame(p.Frame)
+	// Decode through the shared GOP cache: repeated frame views of one
+	// GOP reuse the same reconstruction.
+	f, err := s.gops.frameOnce(ent, p.Frame)
 	if err != nil {
 		return nil, nil, err
 	}
-	s.mu.Lock()
-	s.stats.ObjectsDecoded++
-	s.mu.Unlock()
 	data, err := frame.EncodeFrame(f)
 	if err != nil {
 		return nil, nil, err
@@ -138,8 +136,7 @@ func (s *Service) materializeAugFrameView(p vfs.Path) ([]byte, map[string]string
 	if p.AugDepth > len(ops) {
 		return nil, nil, fmt.Errorf("%w: aug depth %d beyond pipeline length %d", vfs.ErrNotExist, p.AugDepth, len(ops))
 	}
-	dec := codec.NewDecoder(ent.Video, nil)
-	f, err := dec.Frame(p.Frame)
+	f, err := s.gops.frameOnce(ent, p.Frame)
 	if err != nil {
 		return nil, nil, err
 	}

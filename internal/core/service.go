@@ -6,9 +6,12 @@ import (
 	"sort"
 	"sync"
 
+	"sand/internal/codec"
 	"sand/internal/config"
 	"sand/internal/dataset"
+	"sand/internal/frame"
 	"sand/internal/graph"
+	"sand/internal/metrics"
 	"sand/internal/sched"
 	"sand/internal/storage"
 	"sand/internal/vfs"
@@ -45,6 +48,10 @@ type Options struct {
 	Lookahead int
 	// Seed drives all planning randomness.
 	Seed int64
+	// GOPCacheBudget caps the decoded-GOP cache (bytes of reconstructed
+	// frames shared across samples). 0 defaults to MemBudget/4. The
+	// effective budget shrinks automatically under memory pressure.
+	GOPCacheBudget int64
 }
 
 func (o *Options) normalize() error {
@@ -77,6 +84,9 @@ func (o *Options) normalize() error {
 	if o.Lookahead <= 0 {
 		o.Lookahead = 4
 	}
+	if o.GOPCacheBudget <= 0 {
+		o.GOPCacheBudget = o.MemBudget / 4
+	}
 	return nil
 }
 
@@ -94,6 +104,7 @@ type Service struct {
 	ds    *dataset.Dataset
 	store *storage.Store
 	pool  *sched.Pool
+	gops  *gopCache
 	fs    *vfs.FS
 
 	mu sync.Mutex
@@ -176,6 +187,9 @@ func New(opts Options) (*Service, error) {
 		return nil, err
 	}
 	s.pool = pool
+	// The GOP cache shares the store's fill signal: the same pressure
+	// that flips the scheduler to SJF also shrinks the cache's budget.
+	s.gops = newGOPCache(opts.GOPCacheBudget, st.MemPressure)
 	s.fs = vfs.New(s)
 	if err := s.planChunk(0); err != nil {
 		pool.Abort()
@@ -191,15 +205,64 @@ func New(opts Options) (*Service, error) {
 // FS returns the view filesystem.
 func (s *Service) FS() *vfs.FS { return s.fs }
 
-// Stats returns engine counters.
+// Stats returns engine counters. ObjectsDecoded includes every frame the
+// decoded-GOP cache reconstructed (roll-forward frames included), so the
+// value matches the decoder's real work, not just the requested frames.
 func (s *Service) Stats() ServiceStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	st.ObjectsDecoded += s.gops.stats().FramesDecoded
+	return st
 }
 
 // StoreStats returns the storage tier's counters.
 func (s *Service) StoreStats() storage.Stats { return s.store.Stats() }
+
+// GOPCacheStats summarizes the decoded-GOP cache for reporting.
+type GOPCacheStats struct {
+	Hits, Misses, Extends, Evictions int64
+	FramesDecoded, BytesDecoded      int64
+	Bytes                            int64
+	Entries                          int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (g GOPCacheStats) HitRate() float64 {
+	if g.Hits+g.Misses == 0 {
+		return 0
+	}
+	return float64(g.Hits) / float64(g.Hits+g.Misses)
+}
+
+// GOPStats returns the decoded-GOP cache's counters.
+func (s *Service) GOPStats() GOPCacheStats {
+	st := s.gops.stats()
+	return GOPCacheStats(st)
+}
+
+// Counters gathers the engine's hot-path efficiency counters — GOP-cache
+// behavior, frame-pool reuse, and compressor reuse — into one metrics
+// set for reporting and benchmarks.
+func (s *Service) Counters() *metrics.CounterSet {
+	cs := metrics.NewCounterSet()
+	g := s.gops.stats()
+	cs.Add("core.gop.hits", g.Hits)
+	cs.Add("core.gop.misses", g.Misses)
+	cs.Add("core.gop.extends", g.Extends)
+	cs.Add("core.gop.evictions", g.Evictions)
+	cs.Add("core.gop.frames_decoded", g.FramesDecoded)
+	cs.Add("core.gop.bytes_decoded", g.BytesDecoded)
+	cs.Add("core.gop.bytes", g.Bytes)
+	cs.Add("core.gop.entries", int64(g.Entries))
+	for k, v := range frame.PoolStats() {
+		cs.Add(k, v)
+	}
+	for k, v := range codec.PoolStats() {
+		cs.Add(k, v)
+	}
+	return cs
+}
 
 // SchedStats returns the scheduler's counters.
 func (s *Service) SchedStats() sched.Stats { return s.pool.Stats() }

@@ -22,6 +22,10 @@ type Frame struct {
 	Index int
 	// PTS is the presentation timestamp in milliseconds.
 	PTS int64
+	// pooled is the boxed slice header that travels with a pool-managed
+	// Pix buffer, letting Recycle return it without re-boxing. nil for
+	// buffers that never came from the pool (Recycle boxes them once).
+	pooled *[]byte
 }
 
 // New allocates a zeroed frame of the given geometry.
@@ -92,7 +96,8 @@ func (f *Frame) SubRect(x0, y0, w, h int) (*Frame, error) {
 	if x0 < 0 || y0 < 0 || w <= 0 || h <= 0 || x0+w > f.W || y0+h > f.H {
 		return nil, fmt.Errorf("frame: rect (%d,%d,%d,%d) outside %dx%d", x0, y0, w, h, f.W, f.H)
 	}
-	out := New(w, h, f.C)
+	// NewPooled: every output row is fully overwritten below.
+	out := NewPooled(w, h, f.C)
 	out.Index, out.PTS = f.Index, f.PTS
 	for c := 0; c < f.C; c++ {
 		src := f.Plane(c)

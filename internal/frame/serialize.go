@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Serialization of frames and clips for the storage tier. The format is a
@@ -20,6 +21,48 @@ const (
 	maxDimension = 1 << 16
 )
 
+// zlibWriterPool and zlibReaderPool Reset-reuse the flate state machines
+// (and their ~64KB windows) across frames instead of rebuilding them for
+// every EncodeFrame/DecodeFrame call on the storage hot path.
+var zlibWriterPool = sync.Pool{}
+
+type pooledZlibReader struct {
+	src bytes.Reader
+	zr  io.ReadCloser // also a zlib.Resetter
+}
+
+var zlibReaderPool = sync.Pool{}
+
+func getZlibWriter(dst io.Writer) *zlib.Writer {
+	if v := zlibWriterPool.Get(); v != nil {
+		zw := v.(*zlib.Writer)
+		zw.Reset(dst)
+		poolCounters.zlibWriters.Add(1)
+		return zw
+	}
+	return zlib.NewWriter(dst)
+}
+
+func getZlibReader(data []byte) (*pooledZlibReader, error) {
+	if v := zlibReaderPool.Get(); v != nil {
+		r := v.(*pooledZlibReader)
+		r.src.Reset(data)
+		if err := r.zr.(zlib.Resetter).Reset(&r.src, nil); err != nil {
+			return nil, err
+		}
+		poolCounters.zlibReaders.Add(1)
+		return r, nil
+	}
+	r := &pooledZlibReader{}
+	r.src.Reset(data)
+	zr, err := zlib.NewReader(&r.src)
+	if err != nil {
+		return nil, err
+	}
+	r.zr = zr
+	return r, nil
+}
+
 // EncodeFrame serializes f losslessly.
 func EncodeFrame(f *Frame) ([]byte, error) {
 	var buf bytes.Buffer
@@ -32,7 +75,7 @@ func EncodeFrame(f *Frame) ([]byte, error) {
 	binary.LittleEndian.PutUint64(hdr[20:], uint64(f.PTS))
 	buf.Write(hdr)
 
-	zw := zlib.NewWriter(&buf)
+	zw := getZlibWriter(&buf)
 	filtered := make([]byte, f.W)
 	for c := 0; c < f.C; c++ {
 		plane := f.Plane(c)
@@ -51,6 +94,7 @@ func EncodeFrame(f *Frame) ([]byte, error) {
 	if err := zw.Close(); err != nil {
 		return nil, fmt.Errorf("frame: compress close: %w", err)
 	}
+	zlibWriterPool.Put(zw)
 	return buf.Bytes(), nil
 }
 
@@ -70,21 +114,25 @@ func DecodeFrame(data []byte) (*Frame, error) {
 	if w <= 0 || h <= 0 || c <= 0 || w > maxDimension || h > maxDimension || c > 16 {
 		return nil, fmt.Errorf("frame: implausible geometry %dx%dx%d", w, h, c)
 	}
-	zr, err := zlib.NewReader(bytes.NewReader(data[28:]))
+	r, err := getZlibReader(data[28:])
 	if err != nil {
 		return nil, fmt.Errorf("frame: decompress: %w", err)
 	}
-	defer zr.Close()
-	f := New(w, h, c)
+	// NewPooled: io.ReadFull overwrites every sample below.
+	f := NewPooled(w, h, c)
 	f.Index, f.PTS = idx, pts
-	if _, err := io.ReadFull(zr, f.Pix); err != nil {
+	if _, err := io.ReadFull(r.zr, f.Pix); err != nil {
+		Recycle(f)
 		return nil, fmt.Errorf("frame: decompress payload: %w", err)
 	}
 	// Read to EOF so zlib verifies the trailing checksum; a truncated or
 	// corrupted stream must not round-trip silently.
-	if _, err := zr.Read(make([]byte, 1)); err != io.EOF {
+	var one [1]byte
+	if _, err := r.zr.Read(one[:]); err != io.EOF {
+		Recycle(f)
 		return nil, fmt.Errorf("frame: trailing data or corrupt stream: %v", err)
 	}
+	zlibReaderPool.Put(r)
 	// Undo the Sub filter.
 	for ch := 0; ch < c; ch++ {
 		plane := f.Plane(ch)

@@ -85,6 +85,8 @@ type Pool struct {
 	closed   bool
 	draining bool
 	queued   int // live (unclaimed) tasks across demand + premat
+	workers  int
+	running  int // tasks currently executing in workers
 	wg       sync.WaitGroup
 	stats    Stats
 }
@@ -107,7 +109,7 @@ func NewPool(opts Options) (*Pool, error) {
 	if opts.Workers <= 0 {
 		return nil, fmt.Errorf("sched: need at least one worker")
 	}
-	p := &Pool{pressure: opts.MemPressure, onError: opts.OnError}
+	p := &Pool{pressure: opts.MemPressure, onError: opts.OnError, workers: opts.Workers}
 	p.cond = sync.NewCond(&p.mu)
 	p.edfHeap = taskHeap{less: func(a, b *Task) bool {
 		if a.Deadline != b.Deadline {
@@ -224,8 +226,12 @@ func (p *Pool) worker() {
 		if t == nil {
 			return
 		}
+		p.mu.Lock()
+		p.running++
+		p.mu.Unlock()
 		err := t.Run()
 		p.mu.Lock()
+		p.running--
 		p.stats.Completed++
 		if err != nil {
 			p.stats.Errors++
@@ -284,6 +290,24 @@ func (p *Pool) QueueDepth() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.queueDepthLocked()
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Idle estimates how many workers have nothing to do right now: workers
+// not executing a task, minus queued tasks about to claim one. A running
+// task may use this to fan its own work out across otherwise-idle
+// workers (intra-sample parallel materialization) without starving
+// queued tasks.
+func (p *Pool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idle := p.workers - p.running - p.queued
+	if idle < 0 {
+		return 0
+	}
+	return idle
 }
 
 // taskHeap is a heap of *Task with a configurable comparison and an index

@@ -177,7 +177,9 @@ func (s *Store) Get(key string) (*Object, error) {
 		s.mu.Lock()
 		s.stats.Misses++
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		// Bare sentinel: misses are the common case on the probe-heavy
+		// materialization path and must not allocate a formatted error.
+		return nil, ErrNotFound
 	}
 	data, err := os.ReadFile(ent.path)
 	if err != nil {

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Hot-path benchmark harness: runs the four -benchmem benchmarks covering
+# the materialization hot path and writes BENCH_hotpath.json at the repo
+# root with ns/op, B/op and allocs/op per benchmark, alongside the frozen
+# pre-overhaul baseline (captured on the same machine class before the
+# GOP-cache/buffer-pool work landed).
+#
+# Usage: scripts/bench.sh [benchtime]   (default 100x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-100x}"
+OUT="BENCH_hotpath.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== go test -bench (hot path, -benchtime=$BENCHTIME)"
+go test -run=xxx -bench='BenchmarkMaterializeSample$' -benchmem -benchtime="$BENCHTIME" ./internal/core/ | tee -a "$TMP"
+go test -run=xxx -bench='BenchmarkCodecRandomAccess$' -benchmem -benchtime="$BENCHTIME" ./internal/codec/ | tee -a "$TMP"
+go test -run=xxx -bench='BenchmarkAugmentPipeline$' -benchmem -benchtime="$BENCHTIME" ./internal/augment/ | tee -a "$TMP"
+go test -run=xxx -bench='BenchmarkStoreRoundTrip$' -benchmem -benchtime="$BENCHTIME" ./internal/storage/ | tee -a "$TMP"
+
+# Parse `BenchmarkX-N  iters  ns/op  B/op  allocs/op` lines into JSON.
+awk '
+BEGIN {
+  # Pre-overhaul baseline: 200 iterations, single-CPU Xeon 2.10GHz.
+  base["BenchmarkMaterializeSample"] = "449122 596285 360"
+  base["BenchmarkCodecRandomAccess"] = "11123493 4374117 849"
+  base["BenchmarkAugmentPipeline"]   = "703461 328032 72"
+  base["BenchmarkStoreRoundTrip"]    = "293819 880589 34"
+  n = 0
+}
+/^Benchmark/ && /ns\/op/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  ns[name] = $3; bytes[name] = $5; allocs[name] = $7
+  if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+}
+END {
+  printf "{\n  \"benchmarks\": [\n"
+  for (i = 0; i < n; i++) {
+    name = order[i]
+    split(base[name], b, " ")
+    printf "    {\n"
+    printf "      \"name\": \"%s\",\n", name
+    printf "      \"baseline\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", b[1], b[2], b[3]
+    printf "      \"current\":  {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}\n", ns[name], bytes[name], allocs[name]
+    printf "    }%s\n", (i < n-1 ? "," : "")
+  }
+  printf "  ]\n}\n"
+}
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
+cat "$OUT"
