@@ -16,4 +16,8 @@ fuzz:
 bench:
 	./scripts/bench.sh $(BENCHTIME)
 
-.PHONY: check test fuzz bench
+# One traced quickstart run, validated (see OBSERVABILITY.md).
+trace-smoke:
+	./scripts/trace_smoke.sh
+
+.PHONY: check test fuzz bench trace-smoke

@@ -10,6 +10,9 @@
 //	sandbench -table 3        # Table 3 (lines of preprocessing code)
 //	sandbench -list           # list experiments
 //	sandbench -fig 12 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	sandbench -trace-out trace.json   # Chrome trace of any real-engine
+//	                                  # work (the figure experiments run
+//	                                  # on the simulator and emit none)
 package main
 
 import (
@@ -19,6 +22,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+
+	"sand/internal/obs"
 )
 
 // experiment is one reproducible figure/table.
@@ -41,7 +46,26 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file")
 	flag.Parse()
+
+	if *traceOut != "" {
+		// Experiments build engines with Options.Obs unset, which falls
+		// back to the process-wide registry — enabling its tracer here
+		// captures their scheduler and materialization events.
+		obs.Default().Trace().Enable()
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := obs.Default().Trace().WriteChromeTrace(f); err != nil {
+				fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			}
+		}()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

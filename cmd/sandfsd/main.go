@@ -7,6 +7,7 @@
 //
 //	sandfsd                     # synthetic 8-video dataset
 //	sandfsd -data /tmp/mini     # dataset directory from sandgen
+//	sandfsd -metrics :9090      # also serve /metrics and /debug/trace
 //
 // Commands:
 //
@@ -14,7 +15,7 @@
 //	stat PATH       show view size and metadata
 //	cat PATH        decode and summarize a view's payload
 //	read PATH N     hex-dump the first N bytes of a view
-//	stats           engine/cache/scheduler counters
+//	stats           observability dump (engine/cache/scheduler metrics)
 //	quit
 package main
 
@@ -32,6 +33,7 @@ import (
 	"sand/internal/dataset"
 	"sand/internal/frame"
 	"sand/internal/metrics"
+	"sand/internal/obs"
 	"sand/internal/vfs"
 )
 
@@ -66,6 +68,8 @@ func main() {
 	dataDir := flag.String("data", "", "dataset directory (default: generate synthetic)")
 	taskFile := flag.String("task", "", "task config YAML file (default: built-in)")
 	epochs := flag.Int("epochs", 4, "total training epochs")
+	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics and /debug/trace ('' disables)")
+	trace := flag.Bool("trace", false, "enable the event tracer at startup")
 	flag.Parse()
 
 	var ds *dataset.Dataset
@@ -87,6 +91,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg := obs.New()
+	if *trace {
+		reg.Trace().Enable()
+	}
 	svc, err := core.New(core.Options{
 		Tasks:       []*config.Task{task},
 		Dataset:     ds,
@@ -95,12 +103,21 @@ func main() {
 		Workers:     4,
 		Coordinate:  true,
 		Seed:        1,
+		Obs:         reg,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer svc.Close()
 	fs := svc.FS()
+	if *metricsAddr != "" {
+		addr, stop, err := reg.StartServer(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Printf("sandfsd: observability on http://%s/metrics (traces at /debug/trace)\n", addr)
+	}
 
 	fmt.Printf("sandfsd: %d videos, task %q, %d epochs. Views follow the Table 1 scheme:\n", len(ds.Videos), task.Tag, *epochs)
 	fmt.Printf("  /%s/<video>.mp4   /%s/<video>/frame<i>   /%s/<video>/frame<i>/aug<d>   /%s/<epoch>/<iter>/view\n",
@@ -177,15 +194,7 @@ func main() {
 				fmt.Printf("  % x\n", buf[:got])
 			})
 		case "stats":
-			st := svc.Stats()
-			ss := svc.StoreStats()
-			sc := svc.SchedStats()
-			fmt.Printf("  engine: batches=%d prematHits=%d decoded=%d reused=%d chunks=%d\n",
-				st.BatchesServed, st.PrematHits, st.ObjectsDecoded, st.ObjectsReused, st.ChunksPlanned)
-			fmt.Printf("  store:  mem=%s in %d objects, hits=%d misses=%d evictions=%d\n",
-				metrics.Bytes(float64(ss.MemBytes)), ss.MemObjects, ss.Hits, ss.Misses, ss.Evictions)
-			fmt.Printf("  sched:  demand=%d premat=%d edf=%d sjf=%d\n",
-				sc.DemandRuns, sc.PrematRuns, sc.EDFDecisions, sc.SJFDecisions)
+			reg.WriteText(os.Stdout)
 		default:
 			fmt.Println("commands: ls [dir] | stat PATH | cat PATH | read PATH N | stats | quit")
 		}

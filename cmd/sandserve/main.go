@@ -10,6 +10,8 @@
 //	sandserve -listen 0.0.0.0:7468          # serve a real port
 //	sandserve -unix /tmp/sand.sock          # additionally serve a unix socket
 //	sandserve -data /tmp/mini -task t.yaml  # dataset from sandgen + task config
+//	sandserve -metrics 127.0.0.1:9090       # /metrics + /debug/trace endpoints
+//	sandserve -metrics :9090 -trace         # capture events from startup
 //
 // On SIGINT/SIGTERM it prints the dataplane counters (requests by op,
 // bytes served, sessions, read-ahead hit rate) and exits.
@@ -26,6 +28,7 @@ import (
 	"sand/internal/config"
 	"sand/internal/core"
 	"sand/internal/dataset"
+	"sand/internal/obs"
 	"sand/internal/viewserver"
 )
 
@@ -59,6 +62,8 @@ func main() {
 	workers := flag.Int("workers", 4, "preprocessing worker pool size")
 	readahead := flag.Int("readahead", 2, "batch views to prefetch ahead per sequence (-1 disables)")
 	inflight := flag.Int("inflight", 32, "max in-flight requests per client session")
+	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics and /debug/trace ('' disables)")
+	trace := flag.Bool("trace", false, "enable the event tracer at startup")
 	flag.Parse()
 
 	if *listen == "" && *unixSock == "" {
@@ -85,6 +90,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	reg := obs.New()
+	if *trace {
+		reg.Trace().Enable()
+	}
+
 	svc, err := core.New(core.Options{
 		Tasks:       []*config.Task{task},
 		Dataset:     ds,
@@ -93,6 +103,7 @@ func main() {
 		Workers:     *workers,
 		Coordinate:  true,
 		Seed:        1,
+		Obs:         reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -102,7 +113,16 @@ func main() {
 	srv := viewserver.New(svc.FS(), viewserver.Options{
 		ReadAhead:   *readahead,
 		MaxInflight: *inflight,
+		Obs:         reg,
 	})
+	if *metricsAddr != "" {
+		addr, stop, err := reg.StartServer(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Printf("sandserve: observability on http://%s/metrics (traces at /debug/trace)\n", addr)
+	}
 	if *listen != "" {
 		addr, err := srv.Listen("tcp", *listen)
 		if err != nil {
@@ -127,5 +147,6 @@ func main() {
 
 	fmt.Println()
 	srv.StatsTable().Render(os.Stdout)
+	reg.WriteText(os.Stdout)
 	srv.Close()
 }

@@ -8,11 +8,13 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"sand/internal/cluster"
 	"sand/internal/config"
 	"sand/internal/dataset"
 	"sand/internal/metrics"
+	"sand/internal/obs"
 )
 
 func main() {
@@ -64,4 +66,10 @@ func main() {
 	fmt.Printf("\nremote traffic: %s total (fetch-once).\n", metrics.Bytes(float64(store.BytesServed())))
 	fmt.Printf("an on-demand pipeline re-reading per epoch would move %s — SAND uses %s of it.\n",
 		metrics.Bytes(float64(naive)), metrics.Pct(float64(store.BytesServed())/float64(naive)))
+	// Node services report into the process-wide registry (histograms and
+	// counters aggregate across nodes; snapshots show the last registrant).
+	fmt.Println()
+	if err := obs.Default().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

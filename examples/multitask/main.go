@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"sand/internal/config"
 	"sand/internal/core"
@@ -91,7 +92,8 @@ func main() {
 		st.ObjectsDecoded, st.ObjectsReused)
 	fmt.Printf("pruning: %d collapses; batches pre-materialized before the GPUs asked: %d of %d\n",
 		st.PruneCollapses, st.PrematHits, st.BatchesServed)
-	sched := svc.SchedStats()
-	fmt.Printf("scheduler: %d demand runs, %d pre-materialization runs (EDF decisions: %d, SJF: %d)\n",
-		sched.DemandRuns, sched.PrematRuns, sched.EDFDecisions, sched.SJFDecisions)
+	fmt.Println()
+	if err := svc.Obs().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

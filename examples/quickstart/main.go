@@ -4,15 +4,24 @@
 // task from the paper's YAML format, and consumes training batches
 // through the four POSIX calls of Table 2 (open/read/getxattr/close) —
 // the entire preprocessing pipeline in a handful of lines.
+//
+// The engine runs against a deliberately tight memory budget so three
+// demo epochs exercise the whole adaptive story — eviction watermarks,
+// GOP-cache shrinking, the EDF->SJF scheduler switch — and with
+// -trace-out FILE the run exports it all as a Chrome trace
+// (chrome://tracing or ui.perfetto.dev); see OBSERVABILITY.md.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"sand/internal/config"
 	"sand/internal/core"
 	"sand/internal/dataset"
+	"sand/internal/obs"
 	"sand/internal/vfs"
 )
 
@@ -56,6 +65,14 @@ dataset:
 `
 
 func main() {
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file")
+	flag.Parse()
+
+	reg := obs.New()
+	if *traceOut != "" {
+		reg.Trace().Enable()
+	}
+
 	// A miniature Kinetics-like corpus: 8 synthetic videos.
 	ds, err := dataset.Kinetics400.Miniature(8, 96, 96, 60, 7)
 	if err != nil {
@@ -69,10 +86,15 @@ func main() {
 		Tasks:       []*config.Task{task},
 		Dataset:     ds,
 		ChunkEpochs: 2,
-		TotalEpochs: 2,
+		TotalEpochs: 3,
 		Workers:     4,
 		Coordinate:  true,
 		Seed:        1,
+		// A deliberately tight budget: the demo's working set crosses
+		// the 75% eviction watermark and the scheduler's 80% SJF switch,
+		// so a trace of this run shows the engine's whole adaptive story.
+		MemBudget: 1 << 20,
+		Obs:       reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -82,7 +104,7 @@ func main() {
 	// --- This is the whole preprocessing interface (Figure 6) ---
 	fs := svc.FS()
 	iters, _ := svc.ItersPerEpoch("train")
-	for epoch := 0; epoch < 2; epoch++ {
+	for epoch := 0; epoch < 3; epoch++ {
 		for it := 0; it < iters; it++ {
 			fd, err := fs.Open(vfs.BatchPath("train", epoch, it)) // open()
 			if err != nil {
@@ -107,13 +129,20 @@ func main() {
 	}
 	// ------------------------------------------------------------
 
-	st := svc.Stats()
-	store := svc.StoreStats()
-	gop := svc.GOPStats()
-	fmt.Printf("\nengine: %d batches served (%d pre-materialized), %d frames decoded, %d objects reused\n",
-		st.BatchesServed, st.PrematHits, st.ObjectsDecoded, st.ObjectsReused)
-	fmt.Printf("cache:  %d objects in memory (%d bytes), hit/miss = %d/%d\n",
-		store.MemObjects, store.MemBytes, store.Hits, store.Misses)
-	fmt.Printf("gop:    hit rate %.1f%% (%d hits / %d misses), %d frames decoded once, %d extends\n",
-		100*gop.HitRate(), gop.Hits, gop.Misses, gop.FramesDecoded, gop.Extends)
+	fmt.Println()
+	if err := reg.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := reg.Trace().WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace: %d events -> %s (open in chrome://tracing or ui.perfetto.dev)\n",
+			reg.Trace().Len(), *traceOut)
+	}
 }

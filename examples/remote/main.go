@@ -55,7 +55,7 @@ func main() {
 	}
 	defer svc.Close()
 
-	srv := viewserver.New(svc.FS(), viewserver.Options{ReadAhead: 2})
+	srv := viewserver.New(svc.FS(), viewserver.Options{ReadAhead: 2, Obs: svc.Obs()})
 	addr, err := srv.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -132,4 +132,8 @@ func main() {
 	}
 	fmt.Println()
 	srv.StatsTable().Render(os.Stdout)
+	fmt.Println()
+	if err := svc.Obs().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"sand/internal/config"
 	"sand/internal/core"
@@ -87,4 +88,8 @@ func main() {
 	st := svc.Stats()
 	fmt.Printf("\ningested %d segments (%s); engine decoded %d frames, reused %d objects\n",
 		ingestor.Ingested(), metrics.Bytes(float64(ingestor.Bytes())), st.ObjectsDecoded, st.ObjectsReused)
+	fmt.Println()
+	if err := svc.Obs().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -3,7 +3,10 @@
 // priority-scheduled worker pool (internal/sched) over the real codec and
 // augmentation library, manages training objects in the storage tier
 // (internal/storage), and exposes every intermediate as a view through the
-// POSIX-shaped filesystem (internal/vfs).
+// POSIX-shaped filesystem (internal/vfs). Every service reports into an
+// observability registry (internal/obs) — its own via Options.Obs, or
+// the process-wide default — covering batch/sample/frame trace spans,
+// view-read latency histograms and GOP-cache/engine counters.
 package core
 
 import (

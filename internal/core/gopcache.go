@@ -7,6 +7,7 @@ import (
 	"sand/internal/codec"
 	"sand/internal/dataset"
 	"sand/internal/frame"
+	"sand/internal/obs"
 	"sand/internal/sched"
 	"sand/internal/storage"
 )
@@ -31,6 +32,7 @@ import (
 type gopCache struct {
 	budget   int64
 	pressure func() float64 // store fill fraction in [0,1]; may be nil
+	tr       *obs.Tracer    // may be nil (tracing calls are nil-safe)
 
 	mu      sync.Mutex
 	entries map[gopKey]*gopEntry
@@ -203,6 +205,7 @@ func (c *gopCache) effectiveBudgetLocked() int64 {
 // their frames stay valid for every lease holder.
 func (c *gopCache) evictLocked() {
 	limit := c.effectiveBudgetLocked()
+	var dropped, freed int64
 	for c.bytes > limit {
 		var victim *gopEntry
 		for _, e := range c.entries {
@@ -214,14 +217,26 @@ func (c *gopCache) evictLocked() {
 			}
 		}
 		if victim == nil {
-			return // everything pinned: over-budget until releases arrive
+			break // everything pinned: over-budget until releases arrive
 		}
 		delete(c.entries, victim.key)
 		c.bytes -= victim.bytes
+		dropped++
+		freed += victim.bytes
 		c.evictions++
 		// Frames are shared read-only and may still be referenced by
 		// batches in flight; the GC reclaims them. Never recycle here.
 	}
+	if dropped > 0 && c.tr.Enabled() {
+		c.tr.Instant("core", "gop_evict", 0, fmt.Sprintf("%d gops, %d bytes", dropped, freed))
+	}
+}
+
+// bytesNow returns the cache's current decoded-frame footprint.
+func (c *gopCache) bytesNow() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // gopStats is a counter snapshot for the metrics layer.

@@ -351,7 +351,7 @@ func TestMaterializeChainParallelMatchesSerial(t *testing.T) {
 		}
 		var out []byte
 		for _, sm := range samples {
-			clip, err := s.materializeSampleClip(sm, 0)
+			clip, err := s.materializeSampleClip(sm, 0, 0)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -38,7 +38,7 @@ func BenchmarkMaterializeSample(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		clip, err := s.materializeSampleClip(samples[i%len(samples)], 0)
+		clip, err := s.materializeSampleClip(samples[i%len(samples)], 0, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,10 +5,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sand/internal/dataset"
 	"sand/internal/frame"
 	"sand/internal/graph"
+	"sand/internal/obs"
 	"sand/internal/sched"
 	"sand/internal/storage"
 	"sand/internal/vfs"
@@ -64,8 +66,16 @@ func nodeAtDepth(leaf *graph.Node, total, d int) *graph.Node {
 // chains' clips; decoded source frames are shared across chains — and
 // across concurrent samples — through the engine's decoded-GOP cache,
 // pinned for the duration of the call by a lease. deadline is the
-// scheduling deadline attached to objects it stores.
-func (s *Service) materializeSampleClip(sm *graph.Sample, deadline int64) (*frame.Clip, error) {
+// scheduling deadline attached to objects it stores; tid correlates the
+// emitted spans with the batch that requested the sample.
+func (s *Service) materializeSampleClip(sm *graph.Sample, deadline int64, tid obs.TraceID) (*frame.Clip, error) {
+	var spanStart int64
+	if traced := s.tr.Enabled(); traced {
+		spanStart = s.tr.Now()
+		defer func() {
+			s.tr.Span("core", "sample", tid, spanStart, fmt.Sprintf("%s/%d/%d", sm.Video, sm.Epoch, sm.SampleIdx))
+		}()
+	}
 	ent, ok := s.snapshot().Find(sm.Video)
 	if !ok || ent.Video == nil {
 		return nil, fmt.Errorf("core: video %q not in dataset", sm.Video)
@@ -75,7 +85,7 @@ func (s *Service) materializeSampleClip(sm *graph.Sample, deadline int64) (*fram
 
 	var out []*frame.Frame
 	for ci, chain := range sm.Chains {
-		clipFrames, err := s.materializeChain(sm, ci, chain, ent, lease, deadline)
+		clipFrames, err := s.materializeChain(sm, ci, chain, ent, lease, deadline, tid)
 		if err != nil {
 			return nil, err
 		}
@@ -96,12 +106,21 @@ func (s *Service) materializeSampleClip(sm *graph.Sample, deadline int64) (*fram
 // Output order is deterministic regardless of worker count: workers write
 // only their own out[pos] slot.
 func (s *Service) materializeChain(sm *graph.Sample, ci int, chain *graph.ResolvedChain,
-	ent *dataset.Entry, lease *gopLease, deadline int64) ([]*frame.Frame, error) {
+	ent *dataset.Entry, lease *gopLease, deadline int64, tid obs.TraceID) ([]*frame.Frame, error) {
 
 	total := len(chain.Ops)
 	out := make([]*frame.Frame, len(sm.FrameIndices))
+	// One Enabled() check per chain: the off path adds a single bool test
+	// per frame, no defers, no formatting.
+	traced := s.tr.Enabled()
 
 	work := func(pos, idx int) error {
+		if traced {
+			frameStart := s.tr.Now()
+			defer func() {
+				s.tr.Span("core", "frame", tid, frameStart, fmt.Sprintf("%s f%d", sm.Video, idx))
+			}()
+		}
 		// Deepest cached augmentation prefix in the object store wins;
 		// DecodeFrame hands us an exclusively owned frame.
 		f, fromDepth, err := s.loadBestCached(sm, chain, idx, total)
@@ -308,7 +327,19 @@ func (s *Service) countReuse() {
 
 // materializeBatch builds the full batch payload for one iteration and
 // stores it under the batch key.
-func (s *Service) materializeBatch(key iterationKey, deadline int64) error {
+func (s *Service) materializeBatch(key iterationKey, deadline int64, tid obs.TraceID) error {
+	if traced := s.tr.Enabled(); traced {
+		spanStart := s.tr.Now()
+		defer func() {
+			// Arg distinguishes demand (deadline 0) from pre-materialized
+			// batches while keeping the event kind ("core.batch") stable.
+			kind := "premat"
+			if deadline == 0 {
+				kind = "demand"
+			}
+			s.tr.Span("core", "batch", tid, spanStart, kind+" "+batchKey(key.task, key.epoch, key.iter))
+		}()
+	}
 	samples, err := s.scheduleFor(key)
 	if err != nil {
 		return err
@@ -318,7 +349,7 @@ func (s *Service) materializeBatch(key iterationKey, deadline int64) error {
 	}
 	batch := &frame.Batch{Epoch: key.epoch, Iteration: key.iter}
 	for _, sm := range samples {
-		clip, err := s.materializeSampleClip(sm, deadline)
+		clip, err := s.materializeSampleClip(sm, deadline, tid)
 		if err != nil {
 			return err
 		}
@@ -346,6 +377,7 @@ func (s *Service) materializeBatch(key iterationKey, deadline int64) error {
 // on the demand path when pre-materialization has not finished. It also
 // schedules pre-materialization for the lookahead window.
 func (s *Service) ensureBatch(key iterationKey) ([]byte, error) {
+	readStart := time.Now()
 	s.mu.Lock()
 	s.currentPos[key.task] = key
 	s.mu.Unlock()
@@ -357,17 +389,23 @@ func (s *Service) ensureBatch(key iterationKey) ([]byte, error) {
 		s.stats.BatchesServed++
 		s.stats.PrematHits++
 		s.mu.Unlock()
+		s.tr.Instant("core", "premat_hit", 0, bk)
+		s.histView.Observe(time.Since(readStart).Nanoseconds())
 		s.schedulePremat(key)
 		return obj.Data, nil
 	}
 
-	// Demand path: run at top priority and wait.
+	// Demand path: run at top priority and wait. The trace ID correlates
+	// the scheduler's enqueue/dequeue events with the batch/sample/frame
+	// spans materialization emits.
+	tid := obs.NextTraceID()
 	done := make(chan error, 1)
 	err := s.pool.Submit(&sched.Task{
-		Key:  bk,
-		Kind: sched.Demand,
+		Key:   bk,
+		Kind:  sched.Demand,
+		Trace: tid,
 		Run: func() error {
-			err := s.materializeBatch(key, 0)
+			err := s.materializeBatch(key, 0, tid)
 			done <- err
 			return err
 		},
@@ -387,6 +425,7 @@ func (s *Service) ensureBatch(key iterationKey) ([]byte, error) {
 	s.stats.BatchesServed++
 	s.stats.DemandMisses++
 	s.mu.Unlock()
+	s.histView.Observe(time.Since(readStart).Nanoseconds())
 	s.schedulePremat(key)
 	return obj.Data, nil
 }
@@ -424,17 +463,19 @@ func (s *Service) schedulePremat(after iterationKey) {
 		remaining := s.remainingWork(key)
 		deadline := int64(ahead)
 		k := key
+		tid := obs.NextTraceID()
 		_ = s.pool.Submit(&sched.Task{
 			Key:       batchKey(k.task, k.epoch, k.iter),
 			Kind:      sched.Premat,
 			Deadline:  deadline,
 			Remaining: remaining,
+			Trace:     tid,
 			Run: func() error {
 				// Skip if a demand read already produced it.
 				if _, _, err := s.peekBatch(k); err == nil {
 					return nil
 				}
-				return s.materializeBatch(k, deadline)
+				return s.materializeBatch(k, deadline, tid)
 			},
 		})
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 
 	"sand/internal/codec"
@@ -12,6 +13,7 @@ import (
 	"sand/internal/frame"
 	"sand/internal/graph"
 	"sand/internal/metrics"
+	"sand/internal/obs"
 	"sand/internal/sched"
 	"sand/internal/storage"
 	"sand/internal/vfs"
@@ -52,6 +54,11 @@ type Options struct {
 	// frames shared across samples). 0 defaults to MemBudget/4. The
 	// effective budget shrinks automatically under memory pressure.
 	GOPCacheBudget int64
+	// Obs is the observability registry receiving the engine's traces,
+	// gauges and histograms. Nil uses obs.Default(), so binaries that
+	// never touch observability still aggregate into the process-wide
+	// registry.
+	Obs *obs.Registry
 }
 
 func (o *Options) normalize() error {
@@ -106,6 +113,10 @@ type Service struct {
 	pool  *sched.Pool
 	gops  *gopCache
 	fs    *vfs.FS
+
+	reg      *obs.Registry
+	tr       *obs.Tracer
+	histView *obs.Histogram // view-read latency (ns), demand + premat-hit
 
 	mu sync.Mutex
 	// chunk state
@@ -167,7 +178,14 @@ func New(opts Options) (*Service, error) {
 		}
 		s.tasks[t.Tag] = t
 	}
-	st, err := storage.Open(storage.Options{MemBudget: opts.MemBudget, Dir: opts.CacheDir})
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	s.reg = reg
+	s.tr = reg.Trace()
+	s.histView = reg.Histogram("core.view_read_ns")
+	st, err := storage.Open(storage.Options{MemBudget: opts.MemBudget, Dir: opts.CacheDir, Obs: reg})
 	if err != nil {
 		return nil, err
 	}
@@ -179,17 +197,62 @@ func New(opts Options) (*Service, error) {
 	if err := s.validateManifest(); err != nil {
 		return nil, err
 	}
+	// The GOP cache keeps the store-only fill signal for its own budget
+	// shrink: feeding it the combined pressure (which includes its own
+	// bytes) would be a feedback loop. It must exist before the pool:
+	// workers sample memPressure, which reads it.
+	s.gops = newGOPCache(opts.GOPCacheBudget, st.MemPressure)
+	s.gops.tr = s.tr
+	// The scheduler sees the engine's combined footprint (object store +
+	// decoded-GOP cache against the same budget), so the SJF switch
+	// reflects total memory, not just the store tier — the store alone
+	// evicts back below 75% and would never cross the 80% threshold.
 	pool, err := sched.NewPool(sched.Options{
 		Workers:     opts.Workers,
-		MemPressure: st.MemPressure,
+		MemPressure: s.memPressure,
+		Obs:         reg,
 	})
 	if err != nil {
 		return nil, err
 	}
 	s.pool = pool
-	// The GOP cache shares the store's fill signal: the same pressure
-	// that flips the scheduler to SJF also shrinks the cache's budget.
-	s.gops = newGOPCache(opts.GOPCacheBudget, st.MemPressure)
+	reg.Gauge("core.gop.hit_rate", func() float64 { return s.GOPStats().HitRate() })
+	reg.Gauge("core.mem_pressure", s.memPressure)
+	reg.SnapshotFunc("core", func() map[string]int64 {
+		st := s.Stats()
+		g := s.gops.stats()
+		return map[string]int64{
+			"chunks_planned":     int64(st.ChunksPlanned),
+			"batches_served":     st.BatchesServed,
+			"demand_misses":      st.DemandMisses,
+			"premat_hits":        st.PrematHits,
+			"objects_decoded":    st.ObjectsDecoded,
+			"objects_reused":     st.ObjectsReused,
+			"streamed_videos":    int64(st.StreamedVideos),
+			"gop_hits":           g.Hits,
+			"gop_misses":         g.Misses,
+			"gop_extends":        g.Extends,
+			"gop_evictions":      g.Evictions,
+			"gop_frames_decoded": g.FramesDecoded,
+			"gop_bytes":          g.Bytes,
+		}
+	})
+	// Pool counters already carry dotted names ("frame.pool.gets"); the
+	// prefix-strip keeps the exposed names identical to the legacy ones.
+	reg.SnapshotFunc("frame", func() map[string]int64 {
+		out := map[string]int64{}
+		for k, v := range frame.PoolStats() {
+			out[strings.TrimPrefix(k, "frame.")] = v
+		}
+		return out
+	})
+	reg.SnapshotFunc("codec", func() map[string]int64 {
+		out := map[string]int64{}
+		for k, v := range codec.PoolStats() {
+			out[strings.TrimPrefix(k, "codec.")] = v
+		}
+		return out
+	})
 	s.fs = vfs.New(s)
 	if err := s.planChunk(0); err != nil {
 		pool.Abort()
@@ -204,6 +267,22 @@ func New(opts Options) (*Service, error) {
 
 // FS returns the view filesystem.
 func (s *Service) FS() *vfs.FS { return s.fs }
+
+// Obs returns the service's observability registry.
+func (s *Service) Obs() *obs.Registry { return s.reg }
+
+// memPressure is the engine-wide memory signal fed to the scheduler: the
+// object store's fill plus the decoded-GOP cache's footprint, both
+// against the configured memory budget. The store alone self-limits at
+// the 75% eviction threshold, so only the combined value can cross the
+// scheduler's 80% SJF switch.
+func (s *Service) memPressure() float64 {
+	p := s.store.MemPressure()
+	if s.gops != nil {
+		p += float64(s.gops.bytesNow()) / float64(s.opts.MemBudget)
+	}
+	return p
+}
 
 // Stats returns engine counters. ObjectsDecoded includes every frame the
 // decoded-GOP cache reconstructed (roll-forward frames included), so the

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: HDR-style log-linear. Values below histSub are
+// recorded exactly (one bucket per value); above, each power-of-two range
+// splits into histSub linear sub-buckets, bounding relative error at
+// 1/histSub (6.25%). 1024 buckets cover the full non-negative int64
+// range, so two histograms always merge bucket-for-bucket.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // 16 sub-buckets per octave
+	histBuckets = 1024
+)
+
+// Histogram is a fixed-bucket, lock-free latency histogram. Observations
+// are int64 values (by convention nanoseconds for "*_ns" metrics); all
+// methods are safe for concurrent use and tolerate a nil receiver.
+// Histograms with the same layout (all of them) merge exactly.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v))
+	shift := uint(exp - histSubBits)
+	idx := (exp-histSubBits+1)<<histSubBits + int((uint64(v)>>shift)&(histSub-1))
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketBounds returns the half-open value range [lo, hi) of a bucket.
+func bucketBounds(idx int) (lo, hi int64) {
+	if idx < histSub {
+		return int64(idx), int64(idx) + 1
+	}
+	block := idx >> histSubBits // >= 1
+	exp := uint(block + histSubBits - 1)
+	sub := int64(idx & (histSub - 1))
+	width := int64(1) << (exp - histSubBits)
+	lo = (histSub + sub) * width
+	hi = lo + width
+	if hi < lo { // overflow in the top octave
+		hi = math.MaxInt64
+	}
+	return lo, hi
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Merge adds o's observations into h (o is unchanged). Safe under
+// concurrent Observe on either side; the merged view is a consistent
+// superset of both histograms' pasts.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	if m := o.min.Load(); m != math.MaxInt64 {
+		for {
+			cur := h.min.Load()
+			if m >= cur || h.min.CompareAndSwap(cur, m) {
+				break
+			}
+		}
+	}
+	if m := o.max.Load(); m != 0 {
+		for {
+			cur := h.max.Load()
+			if m <= cur || h.max.CompareAndSwap(cur, m) {
+				break
+			}
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot captures a point-in-time copy for rendering and quantiles.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Min = h.min.Load()
+	if s.Min == math.MaxInt64 {
+		s.Min = 0
+	}
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistSnapshot is an immutable histogram copy.
+type HistSnapshot struct {
+	Counts     [histBuckets]int64
+	Count, Sum int64
+	Min, Max   int64
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]): the
+// midpoint of the bucket holding the target rank, clamped to the observed
+// min/max. Estimation error is bounded by the bucket width (<= 6.25%
+// relative for values >= 16).
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range s.Counts {
+		cum += n
+		if cum >= target {
+			lo, hi := bucketBounds(i)
+			v := float64(lo)/2 + float64(hi)/2 // no int64 overflow in the top octave
+			if v < float64(s.Min) {
+				v = float64(s.Min)
+			}
+			if v > float64(s.Max) {
+				v = float64(s.Max)
+			}
+			return v
+		}
+	}
+	return float64(s.Max)
+}

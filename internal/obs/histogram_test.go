@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < histSub; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for v := 0; v < histSub; v++ {
+		if s.Counts[v] != 1 {
+			t.Fatalf("bucket %d: got %d, want 1", v, s.Counts[v])
+		}
+	}
+	if s.Min != 0 || s.Max != histSub-1 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+}
+
+func TestHistogramBucketBoundsRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose bounds contain it.
+	vals := []int64{0, 1, 15, 16, 17, 31, 32, 63, 64, 100, 1023, 1024, 1 << 20, (1 << 40) + 12345, math.MaxInt64}
+	for _, v := range vals {
+		idx := bucketOf(v)
+		lo, hi := bucketBounds(idx)
+		if hi == math.MaxInt64 {
+			// The top octave clamps: closed upper bound.
+			if v < lo || v > hi {
+				t.Fatalf("v=%d idx=%d bounds [%d,%d]", v, idx, lo, hi)
+			}
+			continue
+		}
+		if v < lo || v >= hi {
+			t.Fatalf("v=%d landed in bucket %d with bounds [%d,%d)", v, idx, lo, hi)
+		}
+	}
+	// Buckets must tile the range contiguously up to the top reachable
+	// bucket (959: positive int64 values have at most 63 bits).
+	for i := 0; i < 959; i++ {
+		_, hi := bucketBounds(i)
+		lo, _ := bucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("gap between bucket %d (hi=%d) and %d (lo=%d)", i, hi, i+1, lo)
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	var vals []int64
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.ExpFloat64() * 1e6) // latency-shaped distribution
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(vals)) {
+		t.Fatalf("count=%d want %d", s.Count, len(vals))
+	}
+	exact := func(q float64) float64 {
+		cp := append([]int64(nil), vals...)
+		// simple selection via sort
+		for i := 1; i < len(cp); i++ {
+			for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+				cp[j], cp[j-1] = cp[j-1], cp[j]
+			}
+		}
+		idx := int(q*float64(len(cp))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return float64(cp[idx])
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got, want := s.Quantile(q), exact(q)
+		if want == 0 {
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.07 {
+			t.Fatalf("q=%.2f: got %.0f want %.0f (rel err %.3f > 0.07)", q, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(0); i < 1000; i++ {
+		a.Observe(i * 7)
+		b.Observe(i * 13)
+	}
+	m := NewHistogram()
+	m.Merge(a)
+	m.Merge(b)
+	if m.Count() != a.Count()+b.Count() {
+		t.Fatalf("merged count %d != %d", m.Count(), a.Count()+b.Count())
+	}
+	sm, sa, sb := m.Snapshot(), a.Snapshot(), b.Snapshot()
+	if sm.Sum != sa.Sum+sb.Sum {
+		t.Fatalf("merged sum %d != %d", sm.Sum, sa.Sum+sb.Sum)
+	}
+	if sm.Min != 0 || sm.Max != 999*13 {
+		t.Fatalf("merged min/max = %d/%d", sm.Min, sm.Max)
+	}
+	for i := range sm.Counts {
+		if sm.Counts[i] != sa.Counts[i]+sb.Counts[i] {
+			t.Fatalf("bucket %d: merged %d != %d+%d", i, sm.Counts[i], sa.Counts[i], sb.Counts[i])
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(int64(rng.Intn(1 << 20)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count=%d want %d", s.Count, workers*per)
+	}
+	var sum int64
+	for _, n := range s.Counts {
+		sum += n
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	h.Merge(NewHistogram())
+	if h.Count() != 0 {
+		t.Fatal("nil histogram should count 0")
+	}
+	s := h.Snapshot()
+	if s.Quantile(0.5) != 0 {
+		t.Fatal("nil snapshot quantile should be 0")
+	}
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics            Prometheus text exposition
+//	/debug/trace        Chrome trace_event JSON of the buffered events
+//	/debug/trace/start  enable tracing (any method)
+//	/debug/trace/stop   disable tracing; events stay exportable
+//	/                   plain-text index of the above
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Trace().WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/trace/start", func(w http.ResponseWriter, _ *http.Request) {
+		r.Trace().Enable()
+		fmt.Fprintln(w, "tracing enabled")
+	})
+	mux.HandleFunc("/debug/trace/stop", func(w http.ResponseWriter, _ *http.Request) {
+		r.Trace().Disable()
+		fmt.Fprintln(w, "tracing disabled")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "sand observability\n  /metrics\n  /debug/trace\n  /debug/trace/start\n  /debug/trace/stop\n")
+	})
+	return mux
+}
+
+// StartServer serves the registry's Handler on addr in a background
+// goroutine, returning the bound address (useful with ":0") and a
+// shutdown function.
+func (r *Registry) StartServer(addr string) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv.Close, nil
+}

@@ -1,0 +1,40 @@
+// Package obs is SAND's unified observability layer: a low-overhead
+// structured event tracer (sharded ring buffers, Chrome trace_event JSON
+// export), HDR-style fixed-bucket latency histograms (lock-free,
+// mergeable), and a pull-based metrics registry that exposes counters,
+// gauges and histograms both as a Prometheus-style text page and as a
+// human-readable dump.
+//
+// Every load-bearing subsystem — the scheduler, the object store, the
+// materialization engine and the view server — reports through one
+// *Registry. A Registry is always safe to use: every method (including
+// those of the Tracer, Counter and Histogram it hands out) tolerates a
+// nil receiver, so instrumented code never branches on "is observability
+// configured". With tracing disabled (the default) the cost of an
+// instrumented call site is a single atomic load.
+//
+// Trace events carry a TraceID so one logical operation — a view open
+// fanning out decode → augment → batch across worker goroutines — can be
+// followed end to end in the exported trace.
+package obs
+
+import "sync/atomic"
+
+// TraceID identifies one logical operation across goroutines and
+// subsystems (a view open, a pre-materialization). Zero means "no
+// context".
+type TraceID uint64
+
+var traceIDs atomic.Uint64
+
+// NextTraceID returns a fresh process-unique trace context ID.
+func NextTraceID() TraceID {
+	return TraceID(traceIDs.Add(1))
+}
+
+var defaultRegistry = New()
+
+// Default returns the process-wide registry. Subsystems constructed
+// without an explicit Registry report here, so binaries like sandbench
+// can enable tracing for code paths deep inside experiment harnesses.
+func Default() *Registry { return defaultRegistry }

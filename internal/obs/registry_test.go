@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryPrometheusExposition(t *testing.T) {
+	r := New()
+	r.Counter("core.gop.hits").Add(42)
+	r.Gauge("storage.pressure", func() float64 { return 0.5 })
+	r.SnapshotFunc("sched", func() map[string]int64 { return map[string]int64{"completed": 7} })
+	h := r.Histogram("core.view_read_ns")
+	for i := 0; i < 100; i++ {
+		h.Observe(1e6) // 1ms
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"sand_core_gop_hits 42",
+		"# TYPE sand_storage_pressure gauge",
+		"sand_storage_pressure 0.5",
+		"sand_sched_completed 7",
+		"# TYPE sand_core_view_read_seconds summary",
+		`sand_core_view_read_seconds{quantile="0.5"}`,
+		`sand_core_view_read_seconds{quantile="0.99"}`,
+		"sand_core_view_read_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryTextDump(t *testing.T) {
+	r := New()
+	r.Counter("a.b").Add(3)
+	r.Histogram("lat_ns").Observe(2e6)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"a.b", "3", "lat.p50", "lat.count"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("g", func() float64 { return 1 })
+	r.Histogram("h").Observe(1)
+	r.SnapshotFunc("p", func() map[string]int64 { return nil })
+	if r.Trace() != nil {
+		t.Fatal("nil registry tracer must be nil")
+	}
+	if got := r.Gather(); got != nil {
+		t.Fatalf("nil registry gathered %v", got)
+	}
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryCounterIdentity(t *testing.T) {
+	r := New()
+	a := r.Counter("same")
+	b := r.Counter("same")
+	if a != b {
+		t.Fatal("same name must return same counter")
+	}
+	a.Add(2)
+	if b.Get() != 2 {
+		t.Fatal("counter not shared")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	if got := promName("core.view_read-latency"); got != "sand_core_view_read_latency" {
+		t.Fatalf("promName = %q", got)
+	}
+}

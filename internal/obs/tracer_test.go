@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTracerDisabledRecordsNothing(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Instant("cat", "ev", 0, "")
+	tr.Span("cat", "ev", 0, tr.Now(), "")
+	if tr.Len() != 0 {
+		t.Fatalf("disabled tracer buffered %d events", tr.Len())
+	}
+	var nilTr *Tracer
+	nilTr.Instant("cat", "ev", 0, "")
+	nilTr.Enable()
+	nilTr.Reset()
+	if nilTr.Enabled() || nilTr.Len() != 0 || nilTr.Events() != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+}
+
+func TestTracerRecordsAndSorts(t *testing.T) {
+	tr := NewTracer(256)
+	tr.Enable()
+	start := tr.Now()
+	tr.Instant("sched", "enqueue", 7, "k1")
+	tr.Span("core", "batch", 7, start, "b0")
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatal("events not sorted by TS")
+		}
+	}
+	found := map[string]bool{}
+	for _, e := range evs {
+		found[e.Kind()] = true
+		if e.Trace != 7 {
+			t.Fatalf("trace id lost: %+v", e)
+		}
+	}
+	if !found["sched.enqueue"] || !found["core.batch"] {
+		t.Fatalf("kinds: %v", found)
+	}
+}
+
+// TestTracerWraparoundConcurrent hammers a tiny ring from many writers:
+// the ring must never grow past capacity, never tear an event, and stay
+// exportable. Run under -race this also proves the locking discipline.
+func TestTracerWraparoundConcurrent(t *testing.T) {
+	const capacity = 128
+	tr := NewTracer(capacity)
+	tr.Enable()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if i%2 == 0 {
+					tr.Instant("stress", "instant", TraceID(w), fmt.Sprintf("w%d-%d", w, i))
+				} else {
+					tr.Span("stress", "span", TraceID(w), tr.Now(), "")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := tr.Len(); n > capacity+tracerShards {
+		t.Fatalf("ring grew past capacity: %d", n)
+	}
+	evs := tr.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events survived wraparound")
+	}
+	for _, e := range evs {
+		if e.Cat != "stress" || (e.Name != "instant" && e.Name != "span") {
+			t.Fatalf("torn event: %+v", e)
+		}
+	}
+	// Export must remain valid JSON after wraparound.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != len(evs) {
+		t.Fatalf("export has %d events, buffer has %d", len(parsed.TraceEvents), len(evs))
+	}
+}
+
+func TestTracerResetAndDisable(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Enable()
+	tr.Instant("a", "b", 0, "")
+	if tr.Len() != 1 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	tr.Disable()
+	tr.Instant("a", "b", 0, "")
+	if tr.Len() != 1 {
+		t.Fatal("disabled tracer still recording")
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("reset did not clear events")
+	}
+}

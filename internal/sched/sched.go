@@ -10,6 +10,11 @@
 //     MemoryPressureThreshold, ordering switches to shortest-job-first
 //     (fewest unprocessed edges), draining almost-finished subtrees to
 //     release their pinned decoded frames.
+//
+// The pool is fully instrumented (internal/obs): enqueue/dequeue and
+// EDF<->SJF mode-switch trace events, queue-wait and task-run latency
+// histograms, and policy-decision counters, all keyed by the task's
+// optional TraceID so one batch can be followed end to end.
 package sched
 
 import (
@@ -18,6 +23,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"sand/internal/obs"
 )
 
 // Kind distinguishes the two worker-task classes.
@@ -50,12 +58,17 @@ type Task struct {
 	Remaining int
 	// Run performs the work.
 	Run func() error
+	// Trace is the optional trace context the task belongs to; it is
+	// carried into every scheduler event the task produces, so a view
+	// open can be followed across worker goroutines.
+	Trace obs.TraceID
 
 	// bookkeeping
-	seq  uint64
-	done atomic.Bool
-	edf  int // index in EDF heap, -1 when popped
-	sjf  int // index in SJF heap
+	seq      uint64
+	enqueued time.Time
+	done     atomic.Bool
+	edf      int // index in EDF heap, -1 when popped
+	sjf      int // index in SJF heap
 }
 
 // Stats reports scheduler counters.
@@ -66,6 +79,7 @@ type Stats struct {
 	PrematRuns    int64
 	SJFDecisions  int64
 	EDFDecisions  int64
+	ModeSwitches  int64 // EDF<->SJF policy changes observed across dequeues
 	MaxQueueDepth int
 }
 
@@ -81,6 +95,12 @@ type Pool struct {
 
 	pressure func() float64
 	onError  func(*Task, error)
+
+	// observability (all nil-safe)
+	tr       *obs.Tracer
+	histWait *obs.Histogram // sched.queue_wait_ns: submit -> dequeue
+	histRun  *obs.Histogram // sched.task_run_ns: task execution
+	sjfMode  bool           // last dequeue sampled SJF pressure (guarded by mu)
 
 	closed   bool
 	draining bool
@@ -102,6 +122,10 @@ type Options struct {
 	// OnError is called when a task's Run returns an error; nil ignores
 	// errors beyond counting them.
 	OnError func(*Task, error)
+	// Obs is the observability registry the pool reports through:
+	// enqueue/dequeue/mode-switch trace events, queue-wait and run-time
+	// histograms, and a "sched" counter snapshot. nil disables all of it.
+	Obs *obs.Registry
 }
 
 // NewPool starts the workers.
@@ -111,6 +135,24 @@ func NewPool(opts Options) (*Pool, error) {
 	}
 	p := &Pool{pressure: opts.MemPressure, onError: opts.OnError, workers: opts.Workers}
 	p.cond = sync.NewCond(&p.mu)
+	p.tr = opts.Obs.Trace()
+	p.histWait = opts.Obs.Histogram("sched.queue_wait_ns")
+	p.histRun = opts.Obs.Histogram("sched.task_run_ns")
+	opts.Obs.Gauge("sched.queue_depth", func() float64 { return float64(p.QueueDepth()) })
+	opts.Obs.Gauge("sched.idle_workers", func() float64 { return float64(p.Idle()) })
+	opts.Obs.SnapshotFunc("sched", func() map[string]int64 {
+		st := p.Stats()
+		return map[string]int64{
+			"completed":       st.Completed,
+			"errors":          st.Errors,
+			"demand_runs":     st.DemandRuns,
+			"premat_runs":     st.PrematRuns,
+			"edf_decisions":   st.EDFDecisions,
+			"sjf_decisions":   st.SJFDecisions,
+			"mode_switches":   st.ModeSwitches,
+			"max_queue_depth": int64(st.MaxQueueDepth),
+		}
+	})
 	p.edfHeap = taskHeap{less: func(a, b *Task) bool {
 		if a.Deadline != b.Deadline {
 			return a.Deadline < b.Deadline
@@ -145,6 +187,8 @@ func (p *Pool) Submit(t *Task) error {
 	}
 	t.seq = p.seq
 	p.seq++
+	t.enqueued = time.Now()
+	p.tr.Instant("sched", "enqueue", t.Trace, t.Key)
 	switch t.Kind {
 	case Demand:
 		p.demand = append(p.demand, t)
@@ -172,19 +216,33 @@ func (p *Pool) next() *Task {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
+		// The ordering policy is sampled on every dequeue — demand pops
+		// included — so pressure crossings surface as mode_switch events
+		// even during demand-dominated phases.
+		useSJF := p.pressure != nil && p.pressure() > MemoryPressureThreshold
+		if useSJF != p.sjfMode && p.queued > 0 {
+			from, to := "edf", "sjf"
+			if !useSJF {
+				from, to = "sjf", "edf"
+			}
+			p.stats.ModeSwitches++
+			p.tr.Instant("sched", "mode_switch", 0, from+"->"+to)
+			p.sjfMode = useSJF
+		}
 		// Demand first, FIFO.
 		if len(p.demand) > 0 {
 			t := p.demand[0]
 			p.demand = p.demand[1:]
 			p.queued--
 			p.stats.DemandRuns++
+			p.histWait.Observe(time.Since(t.enqueued).Nanoseconds())
+			p.tr.Instant("sched", "dequeue", t.Trace, "demand "+t.Key)
 			return t
 		}
 		// Then pre-materialization under the current policy. A task
 		// lives in both heaps; whichever heap it is claimed from first
 		// wins (done flag), and the twin's copy becomes a tombstone that
 		// later pops skip.
-		useSJF := p.pressure != nil && p.pressure() > MemoryPressureThreshold
 		pop := func(h *taskHeap) *Task {
 			for h.Len() > 0 {
 				t := heap.Pop(h).(*Task)
@@ -204,12 +262,16 @@ func (p *Pool) next() *Task {
 		}
 		if t != nil {
 			p.queued--
+			policy := "edf "
 			if useSJF {
 				p.stats.SJFDecisions++
+				policy = "sjf "
 			} else {
 				p.stats.EDFDecisions++
 			}
 			p.stats.PrematRuns++
+			p.histWait.Observe(time.Since(t.enqueued).Nanoseconds())
+			p.tr.Instant("sched", "dequeue", t.Trace, policy+t.Key)
 			return t
 		}
 		if p.closed {
@@ -229,7 +291,17 @@ func (p *Pool) worker() {
 		p.mu.Lock()
 		p.running++
 		p.mu.Unlock()
+		var spanStart int64
+		traced := p.tr.Enabled()
+		if traced {
+			spanStart = p.tr.Now()
+		}
+		runStart := time.Now()
 		err := t.Run()
+		p.histRun.Observe(time.Since(runStart).Nanoseconds())
+		if traced {
+			p.tr.Span("sched", "task", t.Trace, spanStart, t.Key)
+		}
 		p.mu.Lock()
 		p.running--
 		p.stats.Completed++

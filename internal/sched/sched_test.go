@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"sand/internal/obs"
 )
 
 func TestNewPoolValidation(t *testing.T) {
@@ -292,5 +294,42 @@ func TestMaxQueueDepthTracked(t *testing.T) {
 	p.Close()
 	if p.Stats().MaxQueueDepth < 30 {
 		t.Fatalf("max depth %d, want >= 30", p.Stats().MaxQueueDepth)
+	}
+}
+
+// TestModeSwitchEventEmitted forces a deterministic EDF->SJF crossing
+// and checks both the stats counter and the trace event record it.
+func TestModeSwitchEventEmitted(t *testing.T) {
+	reg := obs.New()
+	reg.Trace().Enable()
+	var pressure atomic.Value
+	pressure.Store(0.0)
+	gate := make(chan struct{})
+	p, _ := NewPool(Options{
+		Workers:     1,
+		MemPressure: func() float64 { return pressure.Load().(float64) },
+		Obs:         reg,
+	})
+	defer p.Abort()
+	p.Submit(&Task{Key: "gate", Kind: Demand, Run: func() error { <-gate; return nil }})
+	for i := 0; i < 3; i++ {
+		p.Submit(&Task{Key: "p", Kind: Premat, Deadline: int64(i), Remaining: i, Run: func() error { return nil }})
+	}
+	// Cross the threshold while the queue is non-empty, then let the
+	// worker drain: the next dequeue must observe the switch.
+	pressure.Store(0.95)
+	close(gate)
+	p.Close()
+	if p.Stats().ModeSwitches == 0 {
+		t.Fatalf("no mode switches counted: %+v", p.Stats())
+	}
+	found := false
+	for _, e := range reg.Trace().Events() {
+		if e.Kind() == "sched.mode_switch" && e.Arg == "edf->sjf" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no sched.mode_switch edf->sjf event in trace: %v", reg.Trace().Events())
 	}
 }

@@ -2,7 +2,10 @@
 // paper): a two-tier cache (memory + disk) with exact byte accounting, a
 // 75%-threshold eviction policy (used-and-unneeded objects first, then
 // longest-deadline objects), lossless compression for persisted frames,
-// and crash recovery by scanning previously persisted objects.
+// and crash recovery by scanning previously persisted objects. With an
+// observability registry attached (Options.Obs), the store exposes
+// occupancy gauges and hit/miss/eviction counters and traces watermark
+// crossings and eviction passes (internal/obs).
 package storage
 
 import (
@@ -13,6 +16,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"sand/internal/obs"
 )
 
 // Object is one materialized training object: the serialized bytes of a
@@ -67,6 +72,9 @@ type Store struct {
 	diskBytes int64
 
 	stats Stats
+
+	tr    *obs.Tracer
+	above bool // tracks crossings of the eviction watermark
 }
 
 type diskEntry struct {
@@ -83,6 +91,9 @@ type Options struct {
 	DiskBudget int64
 	// Dir is the disk tier directory; empty disables persistence.
 	Dir string
+	// Obs receives store gauges, counters and trace events. Nil means
+	// no registration (tracing calls are nil-safe no-ops).
+	Obs *obs.Registry
 }
 
 // Open creates a store, recovering any objects already persisted in
@@ -98,6 +109,23 @@ func Open(opts Options) (*Store, error) {
 		dir:        opts.Dir,
 		mem:        map[string]*Object{},
 		disk:       map[string]diskEntry{},
+		tr:         opts.Obs.Trace(),
+	}
+	if r := opts.Obs; r != nil {
+		r.Gauge("storage.mem_bytes", func() float64 { return float64(s.MemBytes()) })
+		r.Gauge("storage.pressure", s.MemPressure)
+		r.SnapshotFunc("storage", func() map[string]int64 {
+			st := s.Stats()
+			return map[string]int64{
+				"hits":         st.Hits,
+				"misses":       st.Misses,
+				"evictions":    st.Evictions,
+				"spills":       st.Spills,
+				"mem_objects":  int64(st.MemObjects),
+				"disk_objects": int64(st.DiskObjects),
+				"disk_bytes":   st.DiskBytes,
+			}
+		})
 	}
 	if s.dir != "" {
 		if err := os.MkdirAll(s.dir, 0o755); err != nil {
@@ -159,6 +187,17 @@ func (s *Store) Put(obj *Object) error {
 	}
 	s.mem[obj.Key] = obj
 	s.memBytes += size
+	if s.tr.Enabled() {
+		above := float64(s.memBytes) > float64(s.memBudget)*EvictionThreshold
+		if above != s.above {
+			s.above = above
+			if above {
+				s.tr.Instant("storage", "watermark", 0, "above 75%")
+			} else {
+				s.tr.Instant("storage", "watermark", 0, "below 75%")
+			}
+		}
+	}
 	return s.maybeEvictLocked()
 }
 
@@ -287,6 +326,8 @@ func (s *Store) maybeEvictLocked() error {
 	if s.memBytes <= threshold {
 		return nil
 	}
+	startBytes, startEvictions := s.memBytes, s.stats.Evictions
+	passStart := s.tr.Now()
 	// Build the eviction order.
 	objs := make([]*Object, 0, len(s.mem))
 	for _, o := range s.mem {
@@ -324,6 +365,10 @@ func (s *Store) maybeEvictLocked() error {
 			delete(s.mem, o.Key)
 			s.stats.Evictions++
 		}
+	}
+	if s.tr.Enabled() {
+		s.tr.Span("storage", "evict_pass", 0, passStart, fmt.Sprintf(
+			"evicted %d objects, freed %d bytes", s.stats.Evictions-startEvictions, startBytes-s.memBytes))
 	}
 	return nil
 }

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"sand/internal/obs"
 )
 
 func newMemStore(t *testing.T, budget int64) *Store {
@@ -299,5 +301,35 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	if st.MemBytes < 0 || st.DiskBytes < 0 {
 		t.Fatalf("negative accounting: %+v", st)
+	}
+}
+
+// TestEvictionEventsEmitted drives the store across the 75% watermark
+// with tracing on and checks the watermark instant and evict_pass span
+// land in the trace buffer.
+func TestEvictionEventsEmitted(t *testing.T) {
+	reg := obs.New()
+	reg.Trace().Enable()
+	s, err := Open(Options{MemBudget: 1000, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(obj(fmt.Sprintf("/o%d", i), 100, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	kinds := map[string]int{}
+	for _, e := range reg.Trace().Events() {
+		kinds[e.Kind()]++
+	}
+	if kinds["storage.watermark"] == 0 {
+		t.Fatalf("no watermark events: %v", kinds)
+	}
+	if kinds["storage.evict_pass"] == 0 {
+		t.Fatalf("no evict_pass spans: %v", kinds)
 	}
 }

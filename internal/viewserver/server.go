@@ -7,8 +7,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"sand/internal/metrics"
+	"sand/internal/obs"
 	"sand/internal/vfs"
 )
 
@@ -28,6 +30,9 @@ type Options struct {
 	// are answered with a protocol error and the connection is closed.
 	// 0 uses DefaultMaxMessage.
 	MaxMessage int
+	// Obs receives the server's request spans, latency histogram and
+	// counters. Nil means no registration.
+	Obs *obs.Registry
 }
 
 func (o *Options) normalize() {
@@ -86,6 +91,10 @@ type Server struct {
 	opts  Options
 	ctr   *metrics.CounterSet
 
+	tr      *obs.Tracer
+	histReq *obs.Histogram // per-request service time (ns)
+	wireCtr *obs.Counter   // payload bytes sent on read paths
+
 	mu        sync.Mutex
 	listeners []net.Listener
 	sessions  map[*session]struct{}
@@ -120,13 +129,22 @@ func New(m vfs.Mount, opts Options) *Server {
 		panic("viewserver: nil mount")
 	}
 	opts.normalize()
-	return &Server{
+	s := &Server{
 		mount:    m,
 		opts:     opts,
 		ctr:      metrics.NewCounterSet(),
 		sessions: map[*session]struct{}{},
 		ra:       map[string]*raEntry{},
+		tr:       opts.Obs.Trace(),
+		histReq:  opts.Obs.Histogram("viewserver.request_ns"),
+		wireCtr:  opts.Obs.Counter("viewserver.wire_bytes"),
 	}
+	if r := opts.Obs; r != nil {
+		r.Gauge("viewserver.sessions", func() float64 { return float64(s.Stats().OpenSessions) })
+		r.Gauge("viewserver.fds", func() float64 { return float64(s.Stats().OpenFDs) })
+		r.SnapshotFunc("viewserver", func() map[string]int64 { return s.ctr.Snapshot() })
+	}
+	return s
 }
 
 // Listen starts accepting connections on network ("tcp" or "unix") and
@@ -330,6 +348,14 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(sess *session, req request) {
+	if s.histReq != nil {
+		reqStart := time.Now()
+		defer func() { s.histReq.Observe(time.Since(reqStart).Nanoseconds()) }()
+	}
+	if s.tr.Enabled() {
+		spanStart := s.tr.Now()
+		defer func() { s.tr.Span("viewserver", "req."+req.op.String(), 0, spanStart, req.path) }()
+	}
 	s.ctr.Add("op."+req.op.String(), 1)
 	switch req.op {
 	case OpPing:
@@ -474,6 +500,7 @@ func (s *Server) handleRead(sess *session, req request) {
 	h.off += n
 	h.mu.Unlock()
 	s.ctr.Add(ctrBytesServed, int64(n))
+	s.wireCtr.Add(int64(n))
 	sess.send(req.id, StatusOK, func(b []byte) []byte { return appendBlob(b, chunk) })
 }
 
@@ -498,6 +525,7 @@ func (s *Server) handleReadAt(sess *session, req request) {
 	}
 	chunk := h.data[off : int(off)+n]
 	s.ctr.Add(ctrBytesServed, int64(n))
+	s.wireCtr.Add(int64(n))
 	status := StatusOK
 	if n < int(req.n) {
 		status = StatusEOF // pread short of the request: data + EOF, like vfs.ReadAt

@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
+echo "== doc + gofmt check"
+./scripts/doccheck.sh
+
 echo "== go build ./..."
 go build ./...
 
@@ -18,5 +21,8 @@ go test -run=xxx -bench='BenchmarkMaterializeSample$' -benchtime=1x ./internal/c
 go test -run=xxx -bench='BenchmarkCodecRandomAccess$' -benchtime=1x ./internal/codec/ >/dev/null
 go test -run=xxx -bench='BenchmarkAugmentPipeline$' -benchtime=1x ./internal/augment/ >/dev/null
 go test -run=xxx -bench='BenchmarkStoreRoundTrip$' -benchtime=1x ./internal/storage/ >/dev/null
+
+echo "== trace smoke"
+./scripts/trace_smoke.sh
 
 echo "check: all green"

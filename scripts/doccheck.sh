@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Doc gate: every package must carry a package comment ("// Package x
+# ...") and the tree must be gofmt-clean. Cheap, grep-based, no deps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in internal/* cmd/* examples/*; do
+    [ -d "$dir" ] || continue
+    pkg="$(basename "$dir")"
+    if [ "$(dirname "$dir")" = "internal" ]; then
+        want="^// Package ${pkg} "
+    else
+        # main packages document the binary instead of a package name.
+        want="^// "
+    fi
+    if ! grep -lqE "$want" "$dir"/*.go 2>/dev/null; then
+        echo "doccheck: $dir has no package doc comment" >&2
+        fail=1
+    fi
+done
+
+unformatted="$(gofmt -l cmd examples internal)"
+if [ -n "$unformatted" ]; then
+    echo "doccheck: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+exit $fail

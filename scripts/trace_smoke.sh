@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Trace smoke test: run one traced quickstart (3 tight-budget epochs),
+# then validate the Chrome trace JSON parses and carries the event
+# kinds the engine promises (per-frame spans and a scheduler
+# mode-switch among them). Validation is a stdlib-only Go program so
+# the gate needs nothing beyond the toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== traced quickstart"
+go run ./examples/quickstart -trace-out "$tmp/trace.json" >"$tmp/out.txt"
+
+cat > "$tmp/validate.go" <<'EOF'
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		panic(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Cat  string          `json:"cat"`
+			Ph   string          `json:"ph"`
+			TS   float64         `json:"ts"`
+			Args map[string]any  `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		panic(fmt.Sprintf("trace is not valid trace_event JSON: %v", err))
+	}
+	kinds := map[string]int{}
+	for _, e := range trace.TraceEvents {
+		kinds[e.Cat+"."+e.Name]++
+	}
+	for _, want := range []string{
+		"sched.enqueue", "sched.dequeue", "sched.task", "sched.mode_switch",
+		"core.batch", "core.sample", "core.frame",
+		"storage.watermark", "storage.evict_pass",
+	} {
+		if kinds[want] == 0 {
+			panic(fmt.Sprintf("trace has no %s events; kinds: %v", want, kinds))
+		}
+	}
+	fmt.Printf("trace ok: %d events, %d frame spans, %d mode switches\n",
+		len(trace.TraceEvents), kinds["core.frame"], kinds["sched.mode_switch"])
+}
+EOF
+go run "$tmp/validate.go" "$tmp/trace.json"
