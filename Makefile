@@ -16,8 +16,13 @@ fuzz:
 bench:
 	./scripts/bench.sh $(BENCHTIME)
 
+# Store-contention benchmarks: writes BENCH_storage.json (sharded vs
+# unsharded mixed Put/Get). BENCHTIME=5000x make bench-storage for more.
+bench-storage:
+	./scripts/bench_storage.sh $(BENCHTIME)
+
 # One traced quickstart run, validated (see OBSERVABILITY.md).
 trace-smoke:
 	./scripts/trace_smoke.sh
 
-.PHONY: check test fuzz bench trace-smoke
+.PHONY: check test fuzz bench bench-storage trace-smoke

@@ -39,6 +39,10 @@ func register(id, title string, run func() error) {
 	experiments = append(experiments, experiment{id: id, title: title, run: run})
 }
 
+// storeShards is the -store-shards knob, consumed by the storescale
+// experiment (0 = the store's GOMAXPROCS-derived default).
+var storeShards = flag.Int("store-shards", 0, "object-store shard count for storage experiments (0 = a power of two near GOMAXPROCS, 1 = unsharded)")
+
 func main() {
 	fig := flag.String("fig", "", "figure number to run (e.g. 12, 19); empty = all")
 	table := flag.String("table", "", "table number to run (e.g. 3)")

@@ -66,6 +66,7 @@ dataset:
 
 func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file")
+	storeShards := flag.Int("store-shards", 0, "object-store shard count (0 = a power of two near GOMAXPROCS, 1 = unsharded)")
 	flag.Parse()
 
 	reg := obs.New()
@@ -93,8 +94,9 @@ func main() {
 		// A deliberately tight budget: the demo's working set crosses
 		// the 75% eviction watermark and the scheduler's 80% SJF switch,
 		// so a trace of this run shows the engine's whole adaptive story.
-		MemBudget: 1 << 20,
-		Obs:       reg,
+		MemBudget:   1 << 20,
+		StoreShards: *storeShards,
+		Obs:         reg,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sand/internal/codec"
 	"sand/internal/dataset"
@@ -36,8 +37,12 @@ type gopCache struct {
 
 	mu      sync.Mutex
 	entries map[gopKey]*gopEntry
-	bytes   int64
 	clock   int64 // LRU tick
+
+	// bytes is the decoded-frame footprint. Mutated only under mu, but
+	// atomic so the scheduler's memory-pressure callback (sampled at every
+	// dequeue) reads it without touching the cache lock.
+	bytes atomic.Int64
 
 	// counters (guarded by mu; snapshot via statsLocked)
 	hits, misses, extends, evictions int64
@@ -164,7 +169,7 @@ func (c *gopCache) extend(ent *dataset.Entry, e *gopEntry, idx int) error {
 func (c *gopCache) account(e *gopEntry, bytes, frames int64) {
 	c.mu.Lock()
 	e.bytes += bytes
-	c.bytes += bytes
+	c.bytes.Add(bytes)
 	c.bytesDecoded += bytes
 	c.framesDecoded += frames
 	c.evictLocked()
@@ -206,7 +211,7 @@ func (c *gopCache) effectiveBudgetLocked() int64 {
 func (c *gopCache) evictLocked() {
 	limit := c.effectiveBudgetLocked()
 	var dropped, freed int64
-	for c.bytes > limit {
+	for c.bytes.Load() > limit {
 		var victim *gopEntry
 		for _, e := range c.entries {
 			if e.refs > 0 {
@@ -220,7 +225,7 @@ func (c *gopCache) evictLocked() {
 			break // everything pinned: over-budget until releases arrive
 		}
 		delete(c.entries, victim.key)
-		c.bytes -= victim.bytes
+		c.bytes.Add(-victim.bytes)
 		dropped++
 		freed += victim.bytes
 		c.evictions++
@@ -232,11 +237,10 @@ func (c *gopCache) evictLocked() {
 	}
 }
 
-// bytesNow returns the cache's current decoded-frame footprint.
+// bytesNow returns the cache's current decoded-frame footprint. It is a
+// single atomic load so the combined memPressure feed stays lock-free.
 func (c *gopCache) bytesNow() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.bytes
+	return c.bytes.Load()
 }
 
 // gopStats is a counter snapshot for the metrics layer.
@@ -253,7 +257,7 @@ func (c *gopCache) stats() gopStats {
 	return gopStats{
 		Hits: c.hits, Misses: c.misses, Extends: c.extends, Evictions: c.evictions,
 		FramesDecoded: c.framesDecoded, BytesDecoded: c.bytesDecoded,
-		Bytes: c.bytes, Entries: len(c.entries),
+		Bytes: c.bytes.Load(), Entries: len(c.entries),
 	}
 }
 

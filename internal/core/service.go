@@ -38,6 +38,10 @@ type Options struct {
 	MemBudget int64
 	// CacheDir enables the persistent disk tier ("" = memory only).
 	CacheDir string
+	// StoreShards partitions the object store into hash shards (per-shard
+	// locking, global atomic budget). 0 picks a power of two near
+	// GOMAXPROCS; 1 reproduces the exact global eviction order.
+	StoreShards int
 	// Workers sizes the preprocessing pool (the paper's 12 vCPUs).
 	Workers int
 	// Coordinate enables shared-pool/shared-window planning; disable to
@@ -185,7 +189,12 @@ func New(opts Options) (*Service, error) {
 	s.reg = reg
 	s.tr = reg.Trace()
 	s.histView = reg.Histogram("core.view_read_ns")
-	st, err := storage.Open(storage.Options{MemBudget: opts.MemBudget, Dir: opts.CacheDir, Obs: reg})
+	st, err := storage.Open(storage.Options{
+		MemBudget: opts.MemBudget,
+		Dir:       opts.CacheDir,
+		Shards:    opts.StoreShards,
+		Obs:       reg,
+	})
 	if err != nil {
 		return nil, err
 	}

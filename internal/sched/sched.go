@@ -213,13 +213,16 @@ func (p *Pool) queueDepthLocked() int {
 // next pops the highest-priority runnable task; blocks until one exists
 // or the pool shuts down. Returns nil on shutdown.
 func (p *Pool) next() *Task {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	for {
 		// The ordering policy is sampled on every dequeue — demand pops
 		// included — so pressure crossings surface as mode_switch events
-		// even during demand-dominated phases.
+		// even during demand-dominated phases. The sample happens outside
+		// p.mu: the pressure feed is a couple of atomic loads in the
+		// sharded store, and keeping the caller-supplied callback out of
+		// the critical section means it can never stall other dequeues or
+		// invert lock order against the storage tier.
 		useSJF := p.pressure != nil && p.pressure() > MemoryPressureThreshold
+		p.mu.Lock()
 		if useSJF != p.sjfMode && p.queued > 0 {
 			from, to := "edf", "sjf"
 			if !useSJF {
@@ -237,6 +240,7 @@ func (p *Pool) next() *Task {
 			p.stats.DemandRuns++
 			p.histWait.Observe(time.Since(t.enqueued).Nanoseconds())
 			p.tr.Instant("sched", "dequeue", t.Trace, "demand "+t.Key)
+			p.mu.Unlock()
 			return t
 		}
 		// Then pre-materialization under the current policy. A task
@@ -272,12 +276,17 @@ func (p *Pool) next() *Task {
 			p.stats.PrematRuns++
 			p.histWait.Observe(time.Since(t.enqueued).Nanoseconds())
 			p.tr.Instant("sched", "dequeue", t.Trace, policy+t.Key)
+			p.mu.Unlock()
 			return t
 		}
 		if p.closed {
+			p.mu.Unlock()
 			return nil
 		}
 		p.cond.Wait()
+		// Drop the lock and loop so the pressure sample above stays
+		// outside the critical section on every iteration.
+		p.mu.Unlock()
 	}
 }
 

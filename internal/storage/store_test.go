@@ -21,6 +21,18 @@ func newMemStore(t *testing.T, budget int64) *Store {
 	return s
 }
 
+// newSingleShardStore pins Shards to 1 for tests asserting the exact
+// global eviction order (a single shard reproduces the unsharded store's
+// behavior byte for byte; see DESIGN.md on the fairness tolerance).
+func newSingleShardStore(t *testing.T, budget int64) *Store {
+	t.Helper()
+	s, err := Open(Options{MemBudget: budget, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func obj(key string, size int, deadline int64) *Object {
 	return &Object{Key: key, Data: bytes.Repeat([]byte{0xAB}, size), Deadline: deadline}
 }
@@ -94,7 +106,7 @@ func TestEvictionThresholdRespected(t *testing.T) {
 }
 
 func TestEvictionOrderUsedEphemeralFirst(t *testing.T) {
-	s := newMemStore(t, 1000)
+	s := newSingleShardStore(t, 1000)
 	// Fill to just under threshold with three classes of objects.
 	usedEphemeral := obj("/used-eph", 200, 1) // most urgent deadline, but used+ephemeral
 	usedEphemeral.Used = true
@@ -115,7 +127,7 @@ func TestEvictionOrderUsedEphemeralFirst(t *testing.T) {
 }
 
 func TestEvictionOrderLongestDeadline(t *testing.T) {
-	s := newMemStore(t, 1000)
+	s := newSingleShardStore(t, 1000)
 	s.Put(obj("/d10", 200, 10))
 	s.Put(obj("/d99", 200, 99))
 	s.Put(obj("/d5", 200, 5))

@@ -52,3 +52,6 @@ END {
 
 echo "wrote $OUT"
 cat "$OUT"
+
+# Storage-contention companion: BENCH_storage.json (sharded vs unsharded).
+./scripts/bench_storage.sh

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Storage-contention benchmark harness: runs BenchmarkStoreContention
+# (parallel mixed Put/Get with eviction active, 1/4/16 goroutines at
+# 1 shard vs 16 shards) and writes BENCH_storage.json at the repo root.
+# The JSON carries ns/op per configuration plus the headline speedup at
+# 16 goroutines (sharded vs unsharded), which the sharded-store work
+# requires to be >= 2x.
+#
+# Usage: scripts/bench_storage.sh [benchtime]   (default 2000x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2000x}"
+OUT="BENCH_storage.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== go test -bench (store contention, -benchtime=$BENCHTIME)"
+go test -run=xxx -bench='BenchmarkStoreContention' -benchtime="$BENCHTIME" ./internal/storage/ | tee "$TMP"
+
+# Parse `BenchmarkStoreContention/shards=S/g=G-N  iters  ns/op` lines.
+awk '
+/^BenchmarkStoreContention\// && /ns\/op/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  split(name, parts, "/")
+  sub(/^shards=/, "", parts[2]); sub(/^g=/, "", parts[3])
+  shards = parts[2]; g = parts[3]
+  ns[shards "/" g] = $3
+  if (!(shards in sseen)) { sorder[sn++] = shards; sseen[shards] = 1 }
+  if (!(g in gseen)) { gorder[gn++] = g; gseen[g] = 1 }
+}
+END {
+  printf "{\n  \"benchmark\": \"BenchmarkStoreContention\",\n  \"results\": [\n"
+  first = 1
+  for (i = 0; i < sn; i++) for (j = 0; j < gn; j++) {
+    k = sorder[i] "/" gorder[j]
+    if (!(k in ns)) continue
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"shards\": %s, \"goroutines\": %s, \"ns_per_op\": %s}", sorder[i], gorder[j], ns[k]
+  }
+  base = ns["1/16"]; sharded = ns["16/16"]
+  speedup = (base > 0 && sharded > 0) ? base / sharded : 0
+  printf "\n  ],\n  \"speedup_16_goroutines\": %.2f\n}\n", speedup
+  if (speedup < 2) {
+    printf "bench_storage: speedup %.2fx at 16 goroutines is below the 2x floor\n", speedup > "/dev/stderr"
+    exit 1
+  }
+}
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
+cat "$OUT"

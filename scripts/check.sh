@@ -21,6 +21,11 @@ go test -run=xxx -bench='BenchmarkMaterializeSample$' -benchtime=1x ./internal/c
 go test -run=xxx -bench='BenchmarkCodecRandomAccess$' -benchtime=1x ./internal/codec/ >/dev/null
 go test -run=xxx -bench='BenchmarkAugmentPipeline$' -benchtime=1x ./internal/augment/ >/dev/null
 go test -run=xxx -bench='BenchmarkStoreRoundTrip$' -benchtime=1x ./internal/storage/ >/dev/null
+go test -run=xxx -bench='BenchmarkStoreContention' -benchtime=1x ./internal/storage/ >/dev/null
+
+echo "== quickstart shard smoke (1 shard vs 16 shards)"
+go run ./examples/quickstart -store-shards 1 >/dev/null
+go run ./examples/quickstart -store-shards 16 >/dev/null
 
 echo "== trace smoke"
 ./scripts/trace_smoke.sh
