@@ -21,8 +21,14 @@ bench:
 bench-storage:
 	./scripts/bench_storage.sh $(BENCHTIME)
 
+# Zero-copy dataplane benchmarks: writes BENCH_dataplane.json (pinned
+# writev serving vs the copying path at 1/4/16 clients).
+# BENCHTIME=1000x make bench-dataplane for more laps.
+bench-dataplane:
+	./scripts/bench_dataplane.sh $(BENCHTIME)
+
 # One traced quickstart run, validated (see OBSERVABILITY.md).
 trace-smoke:
 	./scripts/trace_smoke.sh
 
-.PHONY: check test fuzz bench bench-storage trace-smoke
+.PHONY: check test fuzz bench bench-storage bench-dataplane trace-smoke

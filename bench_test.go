@@ -20,6 +20,7 @@ import (
 	"sand/internal/gpusim"
 	"sand/internal/graph"
 	"sand/internal/metrics"
+	"sand/internal/storage"
 	"sand/internal/trainsim"
 	"sand/internal/vfs"
 	"sand/internal/viewserver"
@@ -405,6 +406,113 @@ func (p benchViewProvider) Materialize(vp vfs.Path) ([]byte, map[string]string, 
 }
 
 func (p benchViewProvider) List(dir string) ([]string, error) { return nil, nil }
+
+// benchPinnedProvider serves one fixed payload as a pinned reference
+// out of a real object store, so reads exercise the zero-copy serve
+// path exactly as production batch views do; flipping
+// viewserver.Options.ForceCopy gives the copying baseline over
+// identical wire traffic.
+type benchPinnedProvider struct {
+	payload []byte
+	store   *storage.Store
+}
+
+func (p *benchPinnedProvider) Materialize(vp vfs.Path) ([]byte, map[string]string, error) {
+	return p.payload, map[string]string{"user.sand.geometry": "bench"}, nil
+}
+
+func (p *benchPinnedProvider) List(dir string) ([]string, error) { return nil, nil }
+
+func (p *benchPinnedProvider) MaterializePinned(vp vfs.Path) (*vfs.View, error) {
+	obj, pin, err := p.store.GetPinned("/bench/zc")
+	if err != nil {
+		return nil, err
+	}
+	xattrs := map[string]string{"user.sand.geometry": "bench"}
+	if pin == nil {
+		return vfs.NewView(obj.Data, xattrs), nil
+	}
+	return vfs.NewPinnedView(obj.Data, xattrs, pin.Release), nil
+}
+
+// BenchmarkViewServerZeroCopy is the dataplane A/B: mode=zerocopy
+// writes pinned payloads by reference (pooled header + payload via
+// writev), mode=copy (Options.ForceCopy) assembles each response frame
+// in a buffer first. Each client holds one open descriptor and issues
+// full-payload preads into a preallocated buffer, so B/op isolates the
+// serve path's allocation cost and b.SetBytes reports served MB/s.
+func BenchmarkViewServerZeroCopy(b *testing.B) {
+	const size = 1 << 20
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	for _, mode := range []string{"zerocopy", "copy"} {
+		for _, clients := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("mode=%s/clients=%d", mode, clients), func(b *testing.B) {
+				st, err := storage.Open(storage.Options{MemBudget: 64 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := st.Put(&storage.Object{Key: "/bench/zc", Data: payload}); err != nil {
+					b.Fatal(err)
+				}
+				fs := vfs.New(&benchPinnedProvider{payload: payload, store: st})
+				srv := viewserver.New(fs, viewserver.Options{ReadAhead: -1, ForceCopy: mode == "copy"})
+				addr, err := srv.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+
+				conns := make([]*viewserver.Client, clients)
+				fds := make([]int, clients)
+				bufs := make([][]byte, clients)
+				for i := range conns {
+					c, err := viewserver.Dial("tcp", addr.String(), viewserver.ClientOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer c.Shutdown()
+					conns[i] = c
+					if fds[i], err = c.Open(vfs.BatchPath("bench", 0, i)); err != nil {
+						b.Fatal(err)
+					}
+					bufs[i] = make([]byte, size)
+				}
+
+				b.SetBytes(size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				errs := make([]error, clients)
+				for ci := range conns {
+					wg.Add(1)
+					go func(ci int) {
+						defer wg.Done()
+						for i := 0; i < b.N/clients+1; i++ {
+							n, err := conns[ci].ReadAt(fds[ci], bufs[ci], 0)
+							if err == nil && n != size {
+								err = fmt.Errorf("pread %d bytes, want %d", n, size)
+							}
+							if err != nil {
+								errs[ci] = err
+								return
+							}
+						}
+					}(ci)
+				}
+				wg.Wait()
+				b.StopTimer()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
 
 // BenchmarkViewServerThroughput measures the remote-view dataplane over
 // loopback TCP across batch sizes and client counts; b.SetBytes makes

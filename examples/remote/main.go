@@ -4,11 +4,15 @@
 // viewserver.Client — the same four POSIX calls as the local quickstart
 // — and the example verifies each remote batch byte-for-byte against
 // the in-process filesystem before printing the server's dataplane
-// counters (including the sequential read-ahead hit rate).
+// counters (the sequential read-ahead hit rate and the zero-copy hit /
+// copy-fallback split). -store-shards and -mem-budget-mb shape the
+// object store behind the engine, so a tight budget exercises the
+// pinned serve path under live eviction.
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -22,6 +26,10 @@ import (
 )
 
 func main() {
+	storeShards := flag.Int("store-shards", 0, "object-store shard count (0 = a power of two near GOMAXPROCS, 1 = unsharded)")
+	memBudgetMB := flag.Int64("mem-budget-mb", 0, "in-memory object-tier budget in MiB (0 = engine default)")
+	flag.Parse()
+
 	// --- the serving side: an engine exporting its views over TCP ---
 	ds, err := dataset.Kinetics400.Miniature(6, 64, 64, 60, 21)
 	if err != nil {
@@ -49,6 +57,8 @@ func main() {
 		Workers:     2,
 		Coordinate:  true,
 		Seed:        7,
+		MemBudget:   *memBudgetMB << 20,
+		StoreShards: *storeShards,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -124,8 +134,13 @@ func main() {
 		iters, clips, metrics.Bytes(float64(wire)), metrics.Bytes(float64(st.BytesServed)))
 	fmt.Printf("read-ahead: %d hits / %d misses (%s hit rate)\n",
 		st.ReadaheadHits, st.ReadaheadMisses, metrics.Pct(st.ReadaheadHitRate()))
+	fmt.Printf("dataplane: %d responses served by reference (zero-copy), %d copy fallbacks\n",
+		st.ZeroCopyHits, st.CopyFallbacks)
 	if st.ReadaheadHits == 0 {
 		log.Fatal("expected the sequential epoch to produce read-ahead hits")
+	}
+	if st.ZeroCopyHits == 0 {
+		log.Fatal("expected cached batches to be served by reference (zero zero-copy hits)")
 	}
 	if st.OpenFDs != 0 {
 		log.Fatalf("leaked %d server fds", st.OpenFDs)

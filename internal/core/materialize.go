@@ -377,13 +377,26 @@ func (s *Service) materializeBatch(key iterationKey, deadline int64, tid obs.Tra
 // on the demand path when pre-materialization has not finished. It also
 // schedules pre-materialization for the lookahead window.
 func (s *Service) ensureBatch(key iterationKey) ([]byte, error) {
+	data, pin, err := s.ensureBatchPin(key)
+	// Local callers hold the bytes through the GC, not through cache
+	// residency, so the pin can lapse immediately.
+	pin.Release()
+	return data, err
+}
+
+// ensureBatchPin is ensureBatch returning the payload as a pinned
+// reference: while the (possibly nil) pin is held the batch object
+// stays cache-resident, so network servers can write the bytes to a
+// socket without copying them first. A nil pin with a nil error means
+// the payload is valid but not cache-resident (copy-fallback).
+func (s *Service) ensureBatchPin(key iterationKey) ([]byte, *storage.Pin, error) {
 	readStart := time.Now()
 	s.mu.Lock()
 	s.currentPos[key.task] = key
 	s.mu.Unlock()
 
 	bk := batchKey(key.task, key.epoch, key.iter)
-	if obj, err := s.store.Get(bk); err == nil {
+	if obj, pin, err := s.store.GetPinned(bk); err == nil {
 		s.store.MarkUsed(bk)
 		s.mu.Lock()
 		s.stats.BatchesServed++
@@ -392,7 +405,7 @@ func (s *Service) ensureBatch(key iterationKey) ([]byte, error) {
 		s.tr.Instant("core", "premat_hit", 0, bk)
 		s.histView.Observe(time.Since(readStart).Nanoseconds())
 		s.schedulePremat(key)
-		return obj.Data, nil
+		return obj.Data, pin, nil
 	}
 
 	// Demand path: run at top priority and wait. The trace ID correlates
@@ -411,14 +424,14 @@ func (s *Service) ensureBatch(key iterationKey) ([]byte, error) {
 		},
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := <-done; err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	obj, err := s.store.Get(bk)
+	obj, pin, err := s.store.GetPinned(bk)
 	if err != nil {
-		return nil, fmt.Errorf("core: batch vanished after materialization: %w", err)
+		return nil, nil, fmt.Errorf("core: batch vanished after materialization: %w", err)
 	}
 	s.store.MarkUsed(bk)
 	s.mu.Lock()
@@ -427,7 +440,7 @@ func (s *Service) ensureBatch(key iterationKey) ([]byte, error) {
 	s.mu.Unlock()
 	s.histView.Observe(time.Since(readStart).Nanoseconds())
 	s.schedulePremat(key)
-	return obj.Data, nil
+	return obj.Data, pin, nil
 }
 
 // schedulePremat submits pre-materialization tasks for the next Lookahead

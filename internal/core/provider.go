@@ -36,9 +36,48 @@ func (s *Service) materializeBatchView(p vfs.Path) ([]byte, map[string]string, e
 	if err != nil {
 		return nil, nil, err
 	}
-	batch, err := DecodeBatch(data)
+	xattrs, err := batchXattrs(p, data)
 	if err != nil {
 		return nil, nil, err
+	}
+	return data, xattrs, nil
+}
+
+// MaterializePinned implements vfs.PinnedProvider: batch views — the
+// remote training hot path — are served as pinned references into the
+// object store, so the network tier can write them straight to a socket
+// while eviction passes skip the bytes. Other view kinds (and batches
+// that lost cache residency) fall back to an owned, unpinned payload.
+func (s *Service) MaterializePinned(p vfs.Path) (*vfs.View, error) {
+	if p.Kind != vfs.KindBatchView {
+		data, xattrs, err := s.Materialize(p)
+		if err != nil {
+			return nil, err
+		}
+		return vfs.NewView(data, xattrs), nil
+	}
+	key := iterationKey{p.Task, p.Epoch, p.Iteration}
+	data, pin, err := s.ensureBatchPin(key)
+	if err != nil {
+		return nil, err
+	}
+	xattrs, err := batchXattrs(p, data)
+	if err != nil {
+		pin.Release()
+		return nil, err
+	}
+	if pin == nil {
+		return vfs.NewView(data, xattrs), nil
+	}
+	return vfs.NewPinnedView(data, xattrs, pin.Release), nil
+}
+
+// batchXattrs decodes a serialized batch just far enough to publish its
+// metadata attributes.
+func batchXattrs(p vfs.Path, data []byte) (map[string]string, error) {
+	batch, err := DecodeBatch(data)
+	if err != nil {
+		return nil, err
 	}
 	xattrs := map[string]string{
 		"user.sand.clips":  strconv.Itoa(batch.Len()),
@@ -56,7 +95,7 @@ func (s *Service) materializeBatchView(p vfs.Path) ([]byte, map[string]string, e
 		xattrs["user.sand.geometry"] = fmt.Sprintf("%dx%dx%d", w, h, c)
 		xattrs["user.sand.frames_per_clip"] = strconv.Itoa(batch.Clips[0].Len())
 	}
-	return data, xattrs, nil
+	return xattrs, nil
 }
 
 func (s *Service) materializeVideoView(p vfs.Path) ([]byte, map[string]string, error) {

@@ -22,10 +22,16 @@
 // within the used-ephemeral class (see DESIGN.md for the documented
 // fairness tolerance).
 //
+// Objects can be leased by reference: GetPinned returns the payload
+// together with a ref-counted Pin that keeps it memory-resident —
+// eviction passes skip pinned objects — so the network dataplane can
+// write cached bytes straight to a socket (writev) without copying them
+// out of the store first. See DESIGN.md ("Zero-copy dataplane").
+//
 // With an observability registry attached (Options.Obs), the store
-// exposes global and per-shard occupancy gauges and hit/miss/eviction
-// counters, and traces watermark crossings and per-shard eviction passes
-// (internal/obs).
+// exposes global and per-shard occupancy gauges (including pinned
+// bytes) and hit/miss/eviction counters, and traces watermark crossings
+// and per-shard eviction passes (internal/obs).
 package storage
 
 import (
@@ -57,6 +63,13 @@ type Object struct {
 	// Ephemeral objects will not be needed in future epochs (safe to
 	// evict first once used).
 	Ephemeral bool
+
+	// pins is the number of outstanding Pin leases on this object while
+	// it is memory-resident. A pinned object is skipped by eviction
+	// passes (its bytes may be mid-flight on a zero-copy response), so
+	// Data can be handed to the network tier by reference. Guarded by
+	// the owning shard's mutex.
+	pins int32
 }
 
 // ErrNotFound is returned when a key is absent from the store.
@@ -75,6 +88,9 @@ type Stats struct {
 	DiskBytes   int64
 	MemObjects  int
 	DiskObjects int
+	// PinnedBytes is the memory-tier bytes currently held by Pin leases
+	// (ineligible for eviction until released).
+	PinnedBytes int64
 	Hits        int64
 	Misses      int64
 	Evictions   int64
@@ -105,6 +121,10 @@ type shard struct {
 	// the shard mutex by eviction quota math and the per-shard gauges.
 	memBytes atomic.Int64
 
+	// pinnedBytes is the shard's share of pin-leased bytes; read without
+	// the shard mutex by the per-shard gauges.
+	pinnedBytes atomic.Int64
+
 	_ [64]byte // pad shards onto separate cache lines
 }
 
@@ -128,8 +148,9 @@ type Store struct {
 
 	// Global accounting: single atomic adds on mutation, single atomic
 	// loads on the scheduler-sampled read paths (MemBytes, MemPressure).
-	memBytes  atomic.Int64
-	diskBytes atomic.Int64
+	memBytes    atomic.Int64
+	diskBytes   atomic.Int64
+	pinnedBytes atomic.Int64
 
 	hits       atomic.Int64
 	misses     atomic.Int64
@@ -225,11 +246,15 @@ func Open(opts Options) (*Store, error) {
 	s.passFreed = make([]int64, n)
 	if r := opts.Obs; r != nil {
 		r.Gauge("storage.mem_bytes", func() float64 { return float64(s.MemBytes()) })
+		r.Gauge("storage.pinned_bytes", func() float64 { return float64(s.PinnedBytes()) })
 		r.Gauge("storage.pressure", s.MemPressure)
 		for i := range s.shards {
 			sh := &s.shards[i]
 			r.Gauge(fmt.Sprintf("storage.shard.%d.mem_bytes", i), func() float64 {
 				return float64(sh.memBytes.Load())
+			})
+			r.Gauge(fmt.Sprintf("storage.shard.%d.pinned_bytes", i), func() float64 {
+				return float64(sh.pinnedBytes.Load())
 			})
 			r.Gauge(fmt.Sprintf("storage.shard.%d.objects", i), func() float64 {
 				sh.mu.Lock()
@@ -347,6 +372,13 @@ func (s *Store) Put(obj *Object) error {
 		d := int64(len(old.Data))
 		sh.memBytes.Add(-d)
 		s.memBytes.Add(-d)
+		if old.pins > 0 {
+			// The displaced object leaves residency while pinned: settle
+			// its pinned-byte accounting now. Pin holders keep the old
+			// bytes alive and immutable through their own references.
+			sh.pinnedBytes.Add(-d)
+			s.pinnedBytes.Add(-d)
+		}
 	}
 	sh.mem[obj.Key] = obj
 	sh.memBytes.Add(size)
@@ -419,6 +451,85 @@ func (s *Store) Get(key string) (*Object, error) {
 	return p.obj, nil
 }
 
+// Pin is a reference-counted lease on a memory-resident object: while
+// any pin is outstanding, eviction passes skip the object, so its Data
+// can be handed to the network tier by reference (a writev segment)
+// without risking the bytes leaving the cache mid-write. Pins nest: the
+// object stays ineligible until every pin is released. Release is
+// idempotent and safe to call on a nil pin.
+type Pin struct {
+	s   *Store
+	sh  *shard
+	obj *Object
+}
+
+// pinLocked acquires a pin on a resident object. Caller holds sh.mu.
+// The 0->1 transition bumps the shard generation so a cached eviction
+// snapshot that still lists the object is invalidated before it can be
+// chosen as a victim.
+func (s *Store) pinLocked(sh *shard, obj *Object) *Pin {
+	if obj.pins == 0 {
+		d := int64(len(obj.Data))
+		sh.pinnedBytes.Add(d)
+		s.pinnedBytes.Add(d)
+		sh.gen++
+	}
+	obj.pins++
+	return &Pin{s: s, sh: sh, obj: obj}
+}
+
+// Release drops the lease. On the last release of a still-resident
+// object the bytes become evictable again. If the object was deleted or
+// replaced while pinned, its pinned-byte accounting was already settled
+// at that point and Release only drops the reference.
+func (p *Pin) Release() {
+	if p == nil || p.obj == nil {
+		return
+	}
+	sh, obj := p.sh, p.obj
+	p.obj = nil // idempotent: a second Release is a no-op
+	sh.mu.Lock()
+	obj.pins--
+	if obj.pins == 0 && sh.mem[obj.Key] == obj {
+		d := int64(len(obj.Data))
+		sh.pinnedBytes.Add(-d)
+		p.s.pinnedBytes.Add(-d)
+		sh.gen++ // the object is evictable again: invalidate snapshots
+	}
+	sh.mu.Unlock()
+}
+
+// GetPinned returns the object for key together with a pin that keeps
+// it memory-resident until released. Disk-tier objects are promoted
+// first (singleflighted, like Get). A nil pin alongside a non-nil
+// object means the promoted copy was evicted before it could be pinned —
+// the bytes are still valid (the caller holds the only live reference)
+// but not cache-resident, so zero-copy servers should count it as a
+// copy fallback.
+func (s *Store) GetPinned(key string) (*Object, *Pin, error) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	if obj, ok := sh.mem[key]; ok {
+		p := s.pinLocked(sh, obj)
+		sh.mu.Unlock()
+		s.hits.Add(1)
+		return obj, p, nil
+	}
+	sh.mu.Unlock()
+	obj, err := s.Get(key) // promote through the singleflight path
+	if err != nil {
+		return nil, nil, err
+	}
+	sh.mu.Lock()
+	if cur, ok := sh.mem[key]; ok && cur == obj {
+		p := s.pinLocked(sh, cur)
+		sh.mu.Unlock()
+		return cur, p, nil
+	}
+	sh.mu.Unlock()
+	return obj, nil, nil
+}
+
 // readFile is os.ReadFile, indirected so tests can gate promotion reads.
 var readFile = os.ReadFile
 
@@ -454,6 +565,10 @@ func (s *Store) Delete(key string) error {
 		sh.memBytes.Add(-d)
 		sh.gen++
 		s.memBytes.Add(-d)
+		if obj.pins > 0 {
+			sh.pinnedBytes.Add(-d)
+			s.pinnedBytes.Add(-d)
+		}
 	}
 	var rmErr error
 	if ent, ok := sh.disk[key]; ok {
@@ -569,6 +684,13 @@ func (s *Store) refreshCand(i int) {
 	}
 	vs := s.cand[i][:0]
 	for _, o := range sh.mem {
+		if o.pins > 0 {
+			// Pinned objects are mid-flight on zero-copy responses (or
+			// otherwise leased): never candidates. A pin acquired after
+			// this snapshot bumps sh.gen, so evictVictim re-validates
+			// before acting on a stale listing.
+			continue
+		}
 		vs = append(vs, victim{key: o.Key, size: int64(len(o.Data)), deadline: o.Deadline, ueph: o.Used && o.Ephemeral})
 	}
 	gen := sh.gen
@@ -768,13 +890,14 @@ func (s *Store) Keys(prefix string) []string {
 // counters are atomic loads; object counts take each shard lock briefly.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		MemBytes:   s.memBytes.Load(),
-		DiskBytes:  s.diskBytes.Load(),
-		Hits:       s.hits.Load(),
-		Misses:     s.misses.Load(),
-		Evictions:  s.evictions.Load(),
-		Spills:     s.spills.Load(),
-		Promotions: s.promotions.Load(),
+		MemBytes:    s.memBytes.Load(),
+		DiskBytes:   s.diskBytes.Load(),
+		PinnedBytes: s.pinnedBytes.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Evictions:   s.evictions.Load(),
+		Spills:      s.spills.Load(),
+		Promotions:  s.promotions.Load(),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -789,6 +912,12 @@ func (s *Store) Stats() Stats {
 // MemBytes returns current memory-tier usage: one atomic load.
 func (s *Store) MemBytes() int64 {
 	return s.memBytes.Load()
+}
+
+// PinnedBytes returns the memory-tier bytes currently held by Pin
+// leases (ineligible for eviction): one atomic load.
+func (s *Store) PinnedBytes() int64 {
+	return s.pinnedBytes.Load()
 }
 
 // MemPressure returns memBytes/memBudget, the signal the scheduler uses

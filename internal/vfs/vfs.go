@@ -157,6 +157,56 @@ func BatchPath(task string, epoch, iteration int) string {
 	return fmt.Sprintf("/%s/%d/%d/view", task, epoch, iteration)
 }
 
+// View is a materialized view: the payload, its xattrs and — when the
+// bytes are served by reference out of a cache — a pin keeping them
+// cache-resident. Data must be treated as read-only. Release drops the
+// pin (if any) and must be called when the holder is done with Data;
+// it is idempotent, and the bytes themselves remain valid afterwards
+// (the garbage collector owns them), only their cache residency lapses.
+type View struct {
+	Data    []byte
+	Xattrs  map[string]string
+	Pinned  bool // Data is a pinned cache-resident reference
+	release func()
+}
+
+// NewView wraps an owned payload: no pin, Release is a no-op.
+func NewView(data []byte, xattrs map[string]string) *View {
+	return &View{Data: data, Xattrs: xattrs}
+}
+
+// NewPinnedView wraps a pinned cache reference; release runs exactly
+// once, on the first Release call.
+func NewPinnedView(data []byte, xattrs map[string]string, release func()) *View {
+	return &View{Data: data, Xattrs: xattrs, Pinned: release != nil, release: release}
+}
+
+// Release drops the view's pin, if any. Safe on nil and idempotent.
+func (v *View) Release() {
+	if v == nil || v.release == nil {
+		return
+	}
+	f := v.release
+	v.release = nil
+	f()
+}
+
+// PinnedProvider is an optional Provider extension for providers that
+// can hand out cache-resident payloads by reference. The returned
+// view's Release must be called by the consumer; until then the bytes
+// are pinned against eviction.
+type PinnedProvider interface {
+	MaterializePinned(p Path) (*View, error)
+}
+
+// ViewOpener is an optional Mount extension: mounts that can hand a
+// whole view out as a (possibly pinned) reference in one call, without
+// going through the descriptor table. The zero-copy dataplane entry
+// point.
+type ViewOpener interface {
+	OpenView(path string) (*View, error)
+}
+
 // Provider materializes view content on demand. Implementations may block
 // in Materialize until the object is ready (the demand-feeding path).
 type Provider interface {
@@ -242,6 +292,39 @@ func (fs *FS) Open(path string) (int, error) {
 	fs.stats.OpenFDs = len(fs.open)
 	return fd, nil
 }
+
+// OpenView materializes the view at path and returns it whole as a
+// View, bypassing the descriptor table. When the provider implements
+// PinnedProvider the payload is a pinned cache reference (zero-copy);
+// otherwise the view owns its bytes. The caller must Release the view.
+func (fs *FS) OpenView(path string) (*View, error) {
+	parsed, err := ParsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	var v *View
+	if pp, ok := fs.provider.(PinnedProvider); ok {
+		v, err = pp.MaterializePinned(parsed)
+	} else {
+		var data []byte
+		var xattrs map[string]string
+		data, xattrs, err = fs.provider.Materialize(parsed)
+		if err == nil {
+			v = NewView(data, xattrs)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	fs.stats.Opens++
+	fs.stats.Reads++
+	fs.stats.BytesRead += int64(len(v.Data))
+	fs.mu.Unlock()
+	return v, nil
+}
+
+var _ ViewOpener = (*FS)(nil)
 
 // Read mirrors read(2): it fills buf from the descriptor's current offset
 // and advances it, returning io.EOF at end of view.

@@ -1,6 +1,7 @@
 package viewserver
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -193,6 +194,47 @@ func (c *Client) exchangeLocked(req request) (uint8, []byte, error) {
 	return status, body[cur.off:], nil
 }
 
+// roundTripRead sends one read request and scatters the response blob
+// straight into buf (no intermediate frame allocation). Read ops
+// address per-session fd state, so like the other fd ops they are never
+// retried across a reconnect. An io.ErrShortBuffer return means the
+// server sent more than buf holds: buf carries the first len(buf)
+// bytes, the rest was drained, and the connection remains usable.
+func (c *Client) roundTripRead(op Op, req request, buf []byte) (uint8, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		c.closed = false // a deliberate Shutdown is undone by the next use
+	}
+	if err := c.ensureConnLocked(); err != nil {
+		return 0, 0, err
+	}
+	req.op = op
+	req.id = c.nextID
+	c.nextID++
+	deadline := time.Now().Add(c.opts.RequestTimeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		c.dropConnLocked()
+		return 0, 0, fmt.Errorf("viewserver: %s: %w", op, err)
+	}
+	frame := make([]byte, frameHeaderLen, frameHeaderLen+64)
+	frame = appendRequest(frame, req)
+	frame = finishFrame(frame)
+	if _, err := c.conn.Write(frame); err != nil {
+		c.dropConnLocked()
+		return 0, 0, fmt.Errorf("viewserver: %s: %w", op, err)
+	}
+	status, n, errPayload, err := readResponse(c.conn, c.opts.MaxMessage, req.id, buf)
+	if err != nil && !errors.Is(err, io.ErrShortBuffer) {
+		c.dropConnLocked()
+		return 0, 0, fmt.Errorf("viewserver: %s: %w", op, err)
+	}
+	if status == StatusErr {
+		return status, 0, decodeError(errPayload)
+	}
+	return status, n, err // nil or io.ErrShortBuffer
+}
+
 // decodeError parses a StatusErr payload into the matching sentinel.
 func decodeError(payload []byte) error {
 	cur := cursor{b: payload}
@@ -255,48 +297,75 @@ func (c *Client) ref(fd int) (remoteRef, error) {
 	return r, nil
 }
 
-// Read mirrors read(2) against the remote descriptor's offset.
+// Read mirrors read(2) against the remote descriptor's offset,
+// scatter-reading the payload directly into buf. A server blob larger
+// than buf returns the filled prefix with io.ErrShortBuffer rather than
+// silently dropping the tail.
 func (c *Client) Read(fd int, buf []byte) (int, error) {
 	r, err := c.ref(fd)
 	if err != nil {
 		return 0, err
 	}
-	status, payload, err := c.roundTrip(OpRead, request{fd: r.fd, n: uint32(len(buf))}, false)
+	status, n, err := c.roundTripRead(OpRead, request{fd: r.fd, n: uint32(len(buf))}, buf)
 	if err != nil {
-		return 0, err
+		return n, err
 	}
-	if status == StatusErr {
-		return 0, decodeError(payload)
-	}
-	cur := cursor{b: payload}
-	data := cur.blob()
-	if cur.err != nil {
-		return 0, fmt.Errorf("%w: malformed read response", ErrProtocol)
-	}
-	n := copy(buf, data)
 	if status == StatusEOF && n == 0 {
 		return 0, io.EOF
 	}
 	return n, nil
 }
 
-// ReadAll reads the remaining view content from the current offset.
+// ReadAll reads the remaining view content from the current offset. It
+// sizes the result up front (one Size round trip), so the payload
+// scatter-reads straight into its final buffer instead of growing
+// through append copies.
 func (c *Client) ReadAll(fd int) ([]byte, error) {
-	var out []byte
-	buf := make([]byte, c.opts.ReadChunk)
+	size, err := c.Size(fd)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, int(size))
+	filled := 0
 	for {
-		n, err := c.Read(fd, buf)
-		out = append(out, buf[:n]...)
+		if filled == len(out) {
+			// At capacity: confirm EOF with a small tail read (the
+			// descriptor's offset is server-side state, so remaining
+			// content can be shorter than Size, never longer — the tail
+			// read is purely defensive).
+			tail := make([]byte, 4096)
+			n, err := c.Read(fd, tail)
+			out = append(out, tail[:n]...)
+			filled = len(out)
+			if err == io.EOF || (err == nil && n == 0) {
+				return out, nil
+			}
+			if err != nil {
+				return out, err
+			}
+			continue
+		}
+		chunk := out[filled:]
+		if len(chunk) > c.opts.ReadChunk {
+			chunk = chunk[:c.opts.ReadChunk]
+		}
+		n, err := c.Read(fd, chunk)
+		filled += n
 		if err == io.EOF {
-			return out, nil
+			return out[:filled], nil
 		}
 		if err != nil {
-			return out, err
+			return out[:filled], err
+		}
+		if n == 0 {
+			return out[:filled], nil // defensive: no progress
 		}
 	}
 }
 
-// ReadAt mirrors pread(2): absolute offset, descriptor offset untouched.
+// ReadAt mirrors pread(2): absolute offset, descriptor offset
+// untouched, payload scattered directly into buf. Oversized server
+// blobs surface as io.ErrShortBuffer like Read.
 func (c *Client) ReadAt(fd int, buf []byte, off int64) (int, error) {
 	r, err := c.ref(fd)
 	if err != nil {
@@ -305,19 +374,10 @@ func (c *Client) ReadAt(fd int, buf []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, io.EOF
 	}
-	status, payload, err := c.roundTrip(OpReadAt, request{fd: r.fd, off: uint64(off), n: uint32(len(buf))}, false)
+	status, n, err := c.roundTripRead(OpReadAt, request{fd: r.fd, off: uint64(off), n: uint32(len(buf))}, buf)
 	if err != nil {
-		return 0, err
+		return n, err
 	}
-	if status == StatusErr {
-		return 0, decodeError(payload)
-	}
-	cur := cursor{b: payload}
-	data := cur.blob()
-	if cur.err != nil {
-		return 0, fmt.Errorf("%w: malformed readat response", ErrProtocol)
-	}
-	n := copy(buf, data)
 	if status == StatusEOF {
 		return n, io.EOF
 	}

@@ -348,3 +348,77 @@ func finishFrame(b []byte) []byte {
 	binary.BigEndian.PutUint32(b[:frameHeaderLen], uint32(len(b)-frameHeaderLen))
 	return b
 }
+
+// readResponse reads one response frame from r, scattering the blob
+// payload of an OK/EOF response directly into buf instead of staging
+// the whole frame in an intermediate allocation — the receive half of
+// the zero-copy dataplane. It tolerates arbitrary segmentation of the
+// byte stream (the server's writev sends header and payload as separate
+// segments). It returns the response status, the count of payload bytes
+// written into buf and, for other statuses (StatusErr), the raw
+// remainder of the body for decodeError.
+//
+// A blob longer than buf fills buf, drains the excess off r so the
+// connection stays framed, and returns io.ErrShortBuffer: the caller
+// sees the truncation instead of silently losing the tail.
+func readResponse(r io.Reader, max int, wantID uint64, buf []byte) (status uint8, n int, errPayload []byte, err error) {
+	var hdr [frameHeaderLen + respHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	bodyLen := int(binary.BigEndian.Uint32(hdr[:frameHeaderLen]))
+	if bodyLen > max {
+		return 0, 0, nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, bodyLen, max)
+	}
+	if bodyLen < respHeaderLen {
+		return 0, 0, nil, fmt.Errorf("%w: short response header", ErrProtocol)
+	}
+	id := binary.BigEndian.Uint64(hdr[frameHeaderLen : frameHeaderLen+8])
+	status = hdr[frameHeaderLen+8]
+	rem := bodyLen - respHeaderLen
+	if id != wantID {
+		return 0, 0, nil, fmt.Errorf("%w: response id %d for request %d", ErrProtocol, id, wantID)
+	}
+	if status != StatusOK && status != StatusEOF {
+		body := make([]byte, rem)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return 0, 0, nil, noEOF(err)
+		}
+		return status, 0, body, nil
+	}
+	if rem < 4 {
+		return 0, 0, nil, fmt.Errorf("%w: truncated read response", ErrProtocol)
+	}
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return 0, 0, nil, noEOF(err)
+	}
+	rem -= 4
+	blobLen := int(binary.BigEndian.Uint32(lenb[:]))
+	if blobLen != rem {
+		return 0, 0, nil, fmt.Errorf("%w: blob length %d in %d-byte remainder", ErrProtocol, blobLen, rem)
+	}
+	fill := blobLen
+	short := fill > len(buf)
+	if short {
+		fill = len(buf)
+	}
+	if _, err := io.ReadFull(r, buf[:fill]); err != nil {
+		return 0, 0, nil, noEOF(err)
+	}
+	if short {
+		if _, err := io.CopyN(io.Discard, r, int64(blobLen-fill)); err != nil {
+			return 0, 0, nil, noEOF(err)
+		}
+		return status, fill, nil, io.ErrShortBuffer
+	}
+	return status, fill, nil, nil
+}
+
+// noEOF converts a mid-frame io.EOF into io.ErrUnexpectedEOF.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

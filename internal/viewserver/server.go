@@ -1,6 +1,7 @@
 package viewserver
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -30,6 +31,10 @@ type Options struct {
 	// are answered with a protocol error and the connection is closed.
 	// 0 uses DefaultMaxMessage.
 	MaxMessage int
+	// ForceCopy disables the zero-copy send path: pinned payloads are
+	// copied into the pooled response buffer like any other. The
+	// benchmark baseline knob; the wire bytes are identical either way.
+	ForceCopy bool
 	// Obs receives the server's request spans, latency histogram and
 	// counters. Nil means no registration.
 	Obs *obs.Registry
@@ -64,6 +69,13 @@ type Stats struct {
 	// (or missing) the prefetch cache.
 	ReadaheadHits   int64
 	ReadaheadMisses int64
+	// ZeroCopyHits counts read responses served by reference: a pooled
+	// header plus the pinned cache-resident payload, written with one
+	// writev. CopyFallbacks counts non-empty read responses that were
+	// copied through the response buffer instead (payload not
+	// cache-resident, or Options.ForceCopy).
+	ZeroCopyHits  int64
+	CopyFallbacks int64
 }
 
 // ReadaheadHitRate returns hits / (hits + misses), 0 when idle.
@@ -80,6 +92,8 @@ const (
 	ctrBytesServed = "bytes.served"
 	ctrRAHit       = "readahead.hit"
 	ctrRAMiss      = "readahead.miss"
+	ctrZCHit       = "dataplane.zerocopy.hit"
+	ctrZCFallback  = "dataplane.copy.fallback"
 )
 
 // Server exports a vfs.Mount over length-prefixed frames. One goroutine
@@ -110,12 +124,12 @@ type Server struct {
 }
 
 // raEntry is one prefetched view. done closes when materialization
-// finishes (successfully or not).
+// finishes (successfully or not). A successful entry holds its view —
+// pinned, when the mount pins — until it is taken by an open or evicted.
 type raEntry struct {
-	done   chan struct{}
-	data   []byte
-	xattrs map[string]string
-	err    error
+	done chan struct{}
+	view *vfs.View
+	err  error
 }
 
 // raCap bounds the prefetch cache (entries, not bytes): stale entries
@@ -223,6 +237,14 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	s.rawg.Wait()
+	// Drop any prefetched views still pinned in the read-ahead cache.
+	s.ramu.Lock()
+	for _, e := range s.ra {
+		e.view.Release()
+	}
+	s.ra = map[string]*raEntry{}
+	s.raOrder = nil
+	s.ramu.Unlock()
 	return nil
 }
 
@@ -234,6 +256,8 @@ func (s *Server) Stats() Stats {
 		BytesServed:     snap[ctrBytesServed],
 		ReadaheadHits:   snap[ctrRAHit],
 		ReadaheadMisses: snap[ctrRAMiss],
+		ZeroCopyHits:    snap[ctrZCHit],
+		CopyFallbacks:   snap[ctrZCFallback],
 	}
 	for k, v := range snap {
 		if name, ok := strings.CutPrefix(k, "op."); ok {
@@ -269,6 +293,8 @@ func (s *Server) StatsTable() *metrics.Table {
 	t.AddRow("readahead.hit", st.ReadaheadHits)
 	t.AddRow("readahead.miss", st.ReadaheadMisses)
 	t.AddRow("readahead.hitrate", metrics.Pct(st.ReadaheadHitRate()))
+	t.AddRow("dataplane.zerocopy.hit", st.ZeroCopyHits)
+	t.AddRow("dataplane.copy.fallback", st.CopyFallbacks)
 	return t
 }
 
@@ -286,14 +312,17 @@ type session struct {
 	closed bool
 }
 
-// handle is an open view: the fully materialized payload plus metadata.
-// The server holds no underlying vfs descriptors across requests, so a
-// dying session can never leak engine state.
+// handle is an open view: the fully materialized payload plus metadata,
+// held as a (possibly pinned) reference. The server holds no underlying
+// vfs descriptors across requests, so a dying session can never leak
+// engine state; the view's pin is released when the descriptor closes
+// or the session dies. view is set once at creation and never
+// reassigned, and releasing a pin never invalidates the bytes (the GC
+// owns them), so an in-flight read racing a close stays correct.
 type handle struct {
-	mu     sync.Mutex
-	data   []byte
-	xattrs map[string]string
-	off    int
+	mu   sync.Mutex
+	view *vfs.View
+	off  int
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -335,15 +364,18 @@ func (s *Server) serveConn(conn net.Conn) {
 	handlers.Wait()
 	conn.Close()
 
-	// Reclaim the session and its descriptors.
+	// Reclaim the session and its descriptors, dropping their pins.
 	sess.mu.Lock()
 	sess.closed = true
-	nfds := len(sess.fds)
+	fds := sess.fds
 	sess.fds = nil
 	sess.mu.Unlock()
+	for _, h := range fds {
+		h.view.Release()
+	}
 	s.mu.Lock()
 	delete(s.sessions, sess)
-	s.openFDs -= nfds
+	s.openFDs -= len(fds)
 	s.mu.Unlock()
 }
 
@@ -372,7 +404,7 @@ func (s *Server) handle(sess *session, req request) {
 			sess.sendError(req.id, vfs.ErrBadFD, fmt.Sprintf("fd %d", req.fd))
 			return
 		}
-		v, ok := h.xattrs[req.name]
+		v, ok := h.view.Xattrs[req.name]
 		if !ok {
 			sess.sendError(req.id, vfs.ErrNoXattr, req.name)
 			return
@@ -384,8 +416,8 @@ func (s *Server) handle(sess *session, req request) {
 			sess.sendError(req.id, vfs.ErrBadFD, fmt.Sprintf("fd %d", req.fd))
 			return
 		}
-		names := make([]string, 0, len(h.xattrs))
-		for k := range h.xattrs {
+		names := make([]string, 0, len(h.view.Xattrs))
+		for k := range h.view.Xattrs {
 			names = append(names, k)
 		}
 		sort.Strings(names)
@@ -397,7 +429,7 @@ func (s *Server) handle(sess *session, req request) {
 			return
 		}
 		sess.send(req.id, StatusOK, func(b []byte) []byte {
-			return appendU64(b, uint64(len(h.data)))
+			return appendU64(b, uint64(len(h.view.Data)))
 		})
 	case OpReaddir:
 		names, err := s.mount.Readdir(req.path)
@@ -408,7 +440,7 @@ func (s *Server) handle(sess *session, req request) {
 		sess.sendStrings(req.id, names)
 	case OpClose:
 		sess.mu.Lock()
-		_, ok := sess.fds[req.fd]
+		h, ok := sess.fds[req.fd]
 		if ok {
 			delete(sess.fds, req.fd)
 		}
@@ -417,6 +449,7 @@ func (s *Server) handle(sess *session, req request) {
 			sess.sendError(req.id, vfs.ErrBadFD, fmt.Sprintf("fd %d", req.fd))
 			return
 		}
+		h.view.Release()
 		s.mu.Lock()
 		s.openFDs--
 		s.mu.Unlock()
@@ -424,11 +457,13 @@ func (s *Server) handle(sess *session, req request) {
 	case OpStats:
 		st := s.Stats()
 		kv := map[string]int64{
-			"bytes.served":   st.BytesServed,
-			"sessions.open":  int64(st.OpenSessions),
-			"fds.open":       int64(st.OpenFDs),
-			"readahead.hit":  st.ReadaheadHits,
-			"readahead.miss": st.ReadaheadMisses,
+			"bytes.served":            st.BytesServed,
+			"sessions.open":           int64(st.OpenSessions),
+			"fds.open":                int64(st.OpenFDs),
+			"readahead.hit":           st.ReadaheadHits,
+			"readahead.miss":          st.ReadaheadMisses,
+			"dataplane.zerocopy.hit":  st.ZeroCopyHits,
+			"dataplane.copy.fallback": st.CopyFallbacks,
 		}
 		for op, n := range st.Requests {
 			kv["op."+op] = n
@@ -450,15 +485,16 @@ func (s *Server) handle(sess *session, req request) {
 }
 
 func (s *Server) handleOpen(sess *session, req request) {
-	data, xattrs, err := s.materialize(req.path)
+	v, err := s.materialize(req.path)
 	if err != nil {
 		sess.sendError(req.id, err, err.Error())
 		return
 	}
-	h := &handle{data: data, xattrs: xattrs}
+	h := &handle{view: v}
 	sess.mu.Lock()
 	if sess.closed {
 		sess.mu.Unlock()
+		v.Release()
 		return
 	}
 	fd := sess.nextFD
@@ -470,7 +506,7 @@ func (s *Server) handleOpen(sess *session, req request) {
 	s.mu.Unlock()
 	sess.send(req.id, StatusOK, func(b []byte) []byte {
 		b = appendU32(b, fd)
-		return appendU64(b, uint64(len(h.data)))
+		return appendU64(b, uint64(len(v.Data)))
 	})
 }
 
@@ -488,20 +524,21 @@ func (s *Server) handleRead(sess *session, req request) {
 		n = s.maxReadChunk()
 	}
 	h.mu.Lock()
-	if h.off >= len(h.data) {
+	data := h.view.Data
+	if h.off >= len(data) {
 		h.mu.Unlock()
 		sess.send(req.id, StatusEOF, func(b []byte) []byte { return appendBlob(b, nil) })
 		return
 	}
-	if rem := len(h.data) - h.off; n > rem {
+	if rem := len(data) - h.off; n > rem {
 		n = rem
 	}
-	chunk := h.data[h.off : h.off+n]
+	chunk := data[h.off : h.off+n]
 	h.off += n
 	h.mu.Unlock()
 	s.ctr.Add(ctrBytesServed, int64(n))
 	s.wireCtr.Add(int64(n))
-	sess.send(req.id, StatusOK, func(b []byte) []byte { return appendBlob(b, chunk) })
+	sess.sendPayload(req.id, StatusOK, chunk, h.view.Pinned)
 }
 
 func (s *Server) handleReadAt(sess *session, req request) {
@@ -514,23 +551,24 @@ func (s *Server) handleReadAt(sess *session, req request) {
 	if want > s.maxReadChunk() {
 		want = s.maxReadChunk()
 	}
+	data := h.view.Data
 	off := int64(req.off)
-	if off < 0 || off >= int64(len(h.data)) {
+	if off < 0 || off >= int64(len(data)) {
 		sess.send(req.id, StatusEOF, func(b []byte) []byte { return appendBlob(b, nil) })
 		return
 	}
 	n := want
-	if rem := len(h.data) - int(off); n > rem {
+	if rem := len(data) - int(off); n > rem {
 		n = rem
 	}
-	chunk := h.data[off : int(off)+n]
+	chunk := data[off : int(off)+n]
 	s.ctr.Add(ctrBytesServed, int64(n))
 	s.wireCtr.Add(int64(n))
 	status := StatusOK
 	if n < int(req.n) {
 		status = StatusEOF // pread short of the request: data + EOF, like vfs.ReadAt
 	}
-	sess.send(req.id, status, func(b []byte) []byte { return appendBlob(b, chunk) })
+	sess.sendPayload(req.id, status, chunk, h.view.Pinned)
 }
 
 func (sess *session) lookup(fd uint32) (*handle, bool) {
@@ -542,10 +580,11 @@ func (sess *session) lookup(fd uint32) (*handle, bool) {
 
 // --- materialization + read-ahead ---
 
-// materialize resolves a path to its payload and metadata, serving batch
-// views from the prefetch cache when the sequential read-ahead got there
-// first, and scheduling the next views of the sequence either way.
-func (s *Server) materialize(path string) ([]byte, map[string]string, error) {
+// materialize resolves a path to its view, serving batch views from the
+// prefetch cache when the sequential read-ahead got there first (the
+// entry's pin transfers to the caller), and scheduling the next views
+// of the sequence either way.
+func (s *Server) materialize(path string) (*vfs.View, error) {
 	parsed, perr := vfs.ParsePath(path)
 	if perr != nil || parsed.Kind != vfs.KindBatchView || s.opts.ReadAhead == 0 {
 		return s.load(path)
@@ -555,29 +594,35 @@ func (s *Server) materialize(path string) ([]byte, map[string]string, error) {
 		if e.err == nil {
 			s.ctr.Add(ctrRAHit, 1)
 			s.scheduleReadahead(parsed)
-			return e.data, e.xattrs, nil
+			return e.view, nil
 		}
 		// A failed prefetch is not a hit; fall through to a live load.
 	}
 	s.ctr.Add(ctrRAMiss, 1)
-	data, xattrs, err := s.load(path)
+	v, err := s.load(path)
 	if err == nil {
 		s.scheduleReadahead(parsed)
 	}
-	return data, xattrs, err
+	return v, err
 }
 
-// load materializes one view through the mount, capturing payload and
-// all xattrs, then releases the underlying descriptor immediately.
-func (s *Server) load(path string) ([]byte, map[string]string, error) {
+// load materializes one view through the mount. Mounts implementing
+// vfs.ViewOpener (the in-process FS) hand the whole payload out in one
+// call — pinned and by reference when the provider pins; the generic
+// path copies through the descriptor surface and releases the
+// underlying descriptor immediately.
+func (s *Server) load(path string) (*vfs.View, error) {
+	if vo, ok := s.mount.(vfs.ViewOpener); ok {
+		return vo.OpenView(path)
+	}
 	fd, err := s.mount.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	defer s.mount.Close(fd)
 	data, err := s.mount.ReadAll(fd)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	xattrs := map[string]string{}
 	if names, err := s.mount.Listxattr(fd); err == nil {
@@ -587,7 +632,7 @@ func (s *Server) load(path string) ([]byte, map[string]string, error) {
 			}
 		}
 	}
-	return data, xattrs, nil
+	return vfs.NewView(data, xattrs), nil
 }
 
 // raTake claims (and removes) the prefetch entry for path, if any.
@@ -629,7 +674,7 @@ func (s *Server) scheduleReadahead(p vfs.Path) {
 		go func(path string, e *raEntry) {
 			defer s.rawg.Done()
 			defer close(e.done)
-			e.data, e.xattrs, e.err = s.load(path)
+			e.view, e.err = s.load(path)
 			if e.err != nil {
 				// Don't cache failures: drop the entry so a later real
 				// open retries (and reports) the error itself.
@@ -652,6 +697,7 @@ func (s *Server) evictOneLocked() bool {
 		case <-e.done:
 			delete(s.ra, p)
 			s.raOrder = append(s.raOrder[:i], s.raOrder[i+1:]...)
+			e.view.Release()
 			return true
 		default:
 		}
@@ -692,6 +738,41 @@ func (sess *session) send(id uint64, status uint8, payload func(b []byte) []byte
 	if cap(b) <= 1<<20 { // don't pin giant buffers in the pool
 		respPool.Put(bp)
 	}
+}
+
+// sendPayload writes a read response whose body is one u32-length blob.
+// Pinned payloads go out zero-copy: a small pooled header plus the
+// cache-resident chunk, handed to the kernel as one segmented write
+// (net.Buffers → writev), so the payload bytes never land in an
+// intermediate buffer. Unpinned payloads — and all payloads under
+// Options.ForceCopy — take the contiguous copying path. The byte stream
+// on the wire is identical either way.
+func (sess *session) sendPayload(id uint64, status uint8, chunk []byte, pinned bool) {
+	srv := sess.srv
+	if !pinned || srv.opts.ForceCopy || len(chunk) == 0 {
+		if len(chunk) > 0 { // empty EOF frames are not fallbacks
+			srv.ctr.Add(ctrZCFallback, 1)
+		}
+		sess.send(id, status, func(b []byte) []byte { return appendBlob(b, chunk) })
+		return
+	}
+	srv.ctr.Add(ctrZCHit, 1)
+	bp := respPool.Get().(*[]byte)
+	hdr := (*bp)[:0]
+	hdr = append(hdr, 0, 0, 0, 0)
+	hdr = appendU64(hdr, id)
+	hdr = append(hdr, status)
+	hdr = appendU32(hdr, uint32(len(chunk)))
+	binary.BigEndian.PutUint32(hdr[:frameHeaderLen], uint32(len(hdr)-frameHeaderLen+len(chunk)))
+	bufs := net.Buffers{hdr, chunk}
+	sess.wmu.Lock()
+	_, err := bufs.WriteTo(sess.conn)
+	sess.wmu.Unlock()
+	if err != nil {
+		sess.conn.Close()
+	}
+	*bp = hdr
+	respPool.Put(bp)
 }
 
 func (sess *session) sendError(id uint64, err error, msg string) {

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Zero-copy dataplane benchmark harness: runs BenchmarkViewServerZeroCopy
+# (1 MiB pinned batch preads over loopback TCP, zerocopy vs ForceCopy, at
+# 1/4/16 concurrent clients) and writes BENCH_dataplane.json at the repo
+# root. The JSON carries ns/op, B/op, and wire MB/s per cell plus two
+# headline figures at 16 clients: the per-request B/op reduction
+# (zero-copy must shed >= 50% of the copying path's allocations) and the
+# MB/s ratio (zero-copy must not be slower than copying).
+#
+# Usage: scripts/bench_dataplane.sh [benchtime]   (default 300x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-300x}"
+OUT="BENCH_dataplane.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== go test -bench (viewserver dataplane, -benchtime=$BENCHTIME)"
+go test -run=xxx -bench='BenchmarkViewServerZeroCopy' -benchtime="$BENCHTIME" -benchmem . | tee "$TMP"
+
+# Parse `BenchmarkViewServerZeroCopy/mode=M/clients=C-N  iters  ns/op  MB/s  B/op  allocs/op`.
+awk '
+/^BenchmarkViewServerZeroCopy\// && /ns\/op/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  split(name, parts, "/")
+  sub(/^mode=/, "", parts[2]); sub(/^clients=/, "", parts[3])
+  mode = parts[2]; c = parts[3]
+  ns[mode "/" c] = $3; mbs[mode "/" c] = $5; bop[mode "/" c] = $7; aop[mode "/" c] = $9
+  if (!(mode in mseen)) { morder[mn++] = mode; mseen[mode] = 1 }
+  if (!(c in cseen)) { corder[cn++] = c; cseen[c] = 1 }
+}
+END {
+  printf "{\n  \"benchmark\": \"BenchmarkViewServerZeroCopy\",\n  \"results\": [\n"
+  first = 1
+  for (i = 0; i < mn; i++) for (j = 0; j < cn; j++) {
+    k = morder[i] "/" corder[j]
+    if (!(k in ns)) continue
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"mode\": \"%s\", \"clients\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", \
+      morder[i], corder[j], ns[k], mbs[k], bop[k], aop[k]
+  }
+  zc = bop["zerocopy/16"]; cp = bop["copy/16"]
+  reduction = (cp > 0) ? 1 - zc / cp : 0
+  zmbs = mbs["zerocopy/16"]; cmbs = mbs["copy/16"]
+  ratio = (cmbs > 0) ? zmbs / cmbs : 0
+  printf "\n  ],\n  \"b_per_op_reduction_16_clients\": %.4f,\n  \"mb_per_s_ratio_16_clients\": %.2f\n}\n", reduction, ratio
+  if (reduction < 0.5) {
+    printf "bench_dataplane: B/op reduction %.1f%% at 16 clients is below the 50%% floor\n", reduction * 100 > "/dev/stderr"
+    exit 1
+  }
+  if (ratio < 1) {
+    printf "bench_dataplane: zero-copy MB/s is %.2fx the copying path at 16 clients (must not regress)\n", ratio > "/dev/stderr"
+    exit 1
+  }
+}
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
+cat "$OUT"

@@ -27,6 +27,12 @@ echo "== quickstart shard smoke (1 shard vs 16 shards)"
 go run ./examples/quickstart -store-shards 1 >/dev/null
 go run ./examples/quickstart -store-shards 16 >/dev/null
 
+echo "== zero-copy dataplane smoke (8 shards, 1 MiB budget)"
+# Tight budget forces eviction passes to run while pinned batches are in
+# flight; the example fails if any remote byte differs from local or if
+# no response went out by reference.
+go run ./examples/remote -store-shards 8 -mem-budget-mb 1 >/dev/null
+
 echo "== trace smoke"
 ./scripts/trace_smoke.sh
 
