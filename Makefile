@@ -31,4 +31,9 @@ bench-dataplane:
 trace-smoke:
 	./scripts/trace_smoke.sh
 
-.PHONY: check test fuzz bench bench-storage bench-dataplane trace-smoke
+# Boot a 3-node fleet on loopback, drain and kill a node mid-epoch,
+# assert completion + per-node /metrics labels (see DESIGN.md "Fleet").
+fleet-smoke:
+	./scripts/fleet_smoke.sh
+
+.PHONY: check test fuzz bench bench-storage bench-dataplane trace-smoke fleet-smoke

@@ -1,0 +1,182 @@
+// Command sandctl is the fleet operator's console. It speaks the
+// registry's HTTP/JSON protocol (see internal/fleet) and covers the
+// day-2 loop: list nodes and their health, watch the fleet summary,
+// drain a node before maintenance, forget one that is gone for good,
+// and dump the merged cluster /metrics.
+//
+// Usage:
+//
+//	sandctl serve -listen 127.0.0.1:7470            # host a registry
+//	sandctl -registry 127.0.0.1:7470 nodes          # table of nodes + state
+//	sandctl -registry 127.0.0.1:7470 status         # fleet summary (JSON)
+//	sandctl -registry 127.0.0.1:7470 drain gpu3     # stop new opens to gpu3
+//	sandctl -registry 127.0.0.1:7470 forget gpu3    # declare gpu3 dead now
+//	sandctl -registry 127.0.0.1:7470 metrics        # merged Prometheus text
+//	sandctl -registry 127.0.0.1:7470 nodes -history # include transitions
+//
+// Exit status is non-zero when the registry is unreachable or rejects
+// the request (e.g. draining an unknown node).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"sand/internal/fleet"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: sandctl -registry host:port <command> [args]
+
+commands:
+  serve [-listen addr] [-suspect-after d] [-dead-after d]
+                     host a fleet registry + metrics collector
+  nodes [-history]   list nodes, health state, weight, last heartbeat
+  status             fleet summary as JSON
+  drain <node>       stop routing new opens to the node
+  forget <node>      declare the node dead immediately
+  metrics            fetch the merged fleet /metrics exposition
+`)
+	os.Exit(2)
+}
+
+func main() {
+	registry := flag.String("registry", "127.0.0.1:7470", "fleet registry address")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cli := fleet.NewRegistryClient(*registry)
+
+	var err error
+	switch cmd, rest := flag.Arg(0), flag.Args()[1:]; cmd {
+	case "serve":
+		err = cmdServe(rest)
+	case "nodes":
+		err = cmdNodes(cli, rest)
+	case "status":
+		err = cmdStatus(cli)
+	case "drain":
+		if len(rest) != 1 {
+			usage()
+		}
+		if err = cli.Drain(rest[0]); err == nil {
+			fmt.Printf("draining %q: existing reads finish, no new opens\n", rest[0])
+		}
+	case "forget":
+		if len(rest) != 1 {
+			usage()
+		}
+		if err = cli.Forget(rest[0]); err == nil {
+			fmt.Printf("forgot %q\n", rest[0])
+		}
+	case "metrics":
+		err = cmdMetrics(*registry)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sandctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// cmdServe hosts the registry itself: the one long-running sandctl
+// mode. Nodes announce here, the collector scrapes them, and every
+// other sandctl command (and fleet.Router) points at this address.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7470", "registry listen address")
+	suspect := fs.Duration("suspect-after", 2*time.Second, "heartbeat silence before a node turns suspect")
+	dead := fs.Duration("dead-after", 6*time.Second, "heartbeat silence before a node is declared dead")
+	_ = fs.Parse(args)
+
+	registry := fleet.NewRegistry(fleet.RegistryOptions{
+		SuspectAfter: *suspect,
+		DeadAfter:    *dead,
+	})
+	defer registry.Close()
+	registry.AttachCollector(fleet.NewCollector(fleet.CollectorOptions{
+		Lister: fleet.LocalAnnouncer{R: registry},
+	}))
+	addr, stop, err := registry.Start(*listen)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	fmt.Printf("sandctl: fleet registry on http://%s (suspect after %s, dead after %s)\n",
+		addr, *suspect, *dead)
+	select {} // serve until killed
+}
+
+func cmdNodes(cli *fleet.RegistryClient, args []string) error {
+	fs := flag.NewFlagSet("nodes", flag.ExitOnError)
+	history := fs.Bool("history", false, "show each node's state transitions")
+	_ = fs.Parse(args)
+	nodes, err := cli.Nodes()
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tSTATE\tADDR\tWEIGHT\tGEN\tLAST BEAT")
+	for _, n := range nodes {
+		beat := "never"
+		if !n.LastBeat.IsZero() {
+			beat = time.Since(n.LastBeat).Round(time.Millisecond).String() + " ago"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%s\n",
+			n.Info.Name, n.State, n.Info.Addr, n.Info.Capacity, n.Gen, beat)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if *history {
+		for _, n := range nodes {
+			if len(n.History) == 0 {
+				continue
+			}
+			fmt.Printf("%s:\n", n.Info.Name)
+			for _, tr := range n.History {
+				fmt.Printf("  %s  %s -> %s\n",
+					tr.At.Format("15:04:05.000"), tr.FromName, tr.ToName)
+			}
+		}
+	}
+	return nil
+}
+
+func cmdStatus(cli *fleet.RegistryClient) error {
+	st, err := cli.Status()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+func cmdMetrics(registry string) error {
+	base := registry
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("/metrics: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}

@@ -13,8 +13,17 @@
 //	sandserve -metrics 127.0.0.1:9090       # /metrics + /debug/trace endpoints
 //	sandserve -metrics :9090 -trace         # capture events from startup
 //
-// On SIGINT/SIGTERM it prints the dataplane counters (requests by op,
-// bytes served, sessions, read-ahead hit rate) and exits.
+// Fleet mode: -registry announces the node to a fleet control plane (see
+// internal/fleet and cmd/sandctl) and keeps it healthy with heartbeats;
+// the node's /metrics.json is scraped by the fleet collector. On SIGTERM
+// the node drains first — it asks the registry to stop routing new opens
+// to it, then waits for its descriptors and sessions to finish (bounded
+// by -drain-timeout) before exiting. SIGINT skips the drain.
+//
+//	sandserve -registry 127.0.0.1:7470 -node gpu3 -capacity 2
+//
+// On exit it prints the dataplane counters (requests by op, bytes
+// served, sessions, read-ahead hit rate).
 package main
 
 import (
@@ -24,10 +33,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"sand/internal/config"
 	"sand/internal/core"
 	"sand/internal/dataset"
+	"sand/internal/fleet"
 	"sand/internal/obs"
 	"sand/internal/viewserver"
 )
@@ -62,12 +73,20 @@ func main() {
 	workers := flag.Int("workers", 4, "preprocessing worker pool size")
 	readahead := flag.Int("readahead", 2, "batch views to prefetch ahead per sequence (-1 disables)")
 	inflight := flag.Int("inflight", 32, "max in-flight requests per client session")
-	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics and /debug/trace ('' disables)")
+	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics and /debug/trace ('' disables; fleet mode auto-binds 127.0.0.1:0)")
 	trace := flag.Bool("trace", false, "enable the event tracer at startup")
+	registryAddr := flag.String("registry", "", "fleet registry address to announce to ('' = standalone)")
+	nodeName := flag.String("node", "", "fleet node name (default: the serving address)")
+	advertise := flag.String("advertise", "", "address other machines dial (default: the bound -listen address)")
+	capacity := flag.Int("capacity", 1, "relative routing weight announced to the fleet")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for sessions to finish when draining on SIGTERM")
 	flag.Parse()
 
 	if *listen == "" && *unixSock == "" {
 		log.Fatal("sandserve: nothing to serve: both -listen and -unix are empty")
+	}
+	if *registryAddr != "" && *listen == "" {
+		log.Fatal("sandserve: fleet mode needs a TCP -listen address to announce")
 	}
 
 	var ds *dataset.Dataset
@@ -115,19 +134,27 @@ func main() {
 		MaxInflight: *inflight,
 		Obs:         reg,
 	})
-	if *metricsAddr != "" {
-		addr, stop, err := reg.StartServer(*metricsAddr)
+	obsAddr := *metricsAddr
+	if obsAddr == "" && *registryAddr != "" {
+		obsAddr = "127.0.0.1:0" // the fleet collector scrapes /metrics.json
+	}
+	var metricsBound string
+	if obsAddr != "" {
+		addr, stop, err := reg.StartServer(obsAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer stop()
+		metricsBound = addr.String()
 		fmt.Printf("sandserve: observability on http://%s/metrics (traces at /debug/trace)\n", addr)
 	}
+	var tcpAddr string
 	if *listen != "" {
 		addr, err := srv.Listen("tcp", *listen)
 		if err != nil {
 			log.Fatal(err)
 		}
+		tcpAddr = addr.String()
 		fmt.Printf("sandserve: serving %d videos, task %q, %d epochs on tcp %s\n",
 			len(ds.Videos), task.Tag, *epochs, addr)
 	}
@@ -141,9 +168,60 @@ func main() {
 	}
 	fmt.Printf("sandserve: views follow the Table 1 scheme, e.g. /%s/0/0/view\n", task.Tag)
 
+	// Fleet membership: announce, heartbeat, drain on SIGTERM.
+	var fleetCli *fleet.RegistryClient
+	var hb *fleet.Heartbeater
+	name := *nodeName
+	if *registryAddr != "" {
+		if name == "" {
+			name = tcpAddr
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = tcpAddr
+		}
+		fleetCli = fleet.NewRegistryClient(*registryAddr)
+		hb, err = fleet.StartHeartbeater(fleetCli, fleet.NodeInfo{
+			Name:        name,
+			Addr:        adv,
+			MetricsAddr: metricsBound,
+			Fingerprint: svc.Fingerprint(),
+			Capacity:    *capacity,
+		})
+		if err != nil {
+			log.Fatalf("sandserve: announce to %s: %v", *registryAddr, err)
+		}
+		fmt.Printf("sandserve: announced as %q (fingerprint %.12s…) to registry %s\n",
+			name, svc.Fingerprint(), *registryAddr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	got := <-sig
+
+	if fleetCli != nil && got == syscall.SIGTERM {
+		// Drain: stop receiving new opens, let existing sessions finish.
+		fmt.Printf("sandserve: SIGTERM — draining %q (timeout %s)\n", name, *drainTimeout)
+		if err := fleetCli.Drain(name); err != nil {
+			fmt.Printf("sandserve: drain: %v\n", err)
+		}
+		deadline := time.Now().Add(*drainTimeout)
+		for time.Now().Before(deadline) {
+			st := srv.Stats()
+			if st.OpenFDs == 0 && st.OpenSessions == 0 {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if hb != nil {
+		hb.Stop()
+	}
+	if fleetCli != nil {
+		if err := fleetCli.Forget(name); err != nil {
+			fmt.Printf("sandserve: forget: %v\n", err)
+		}
+	}
 
 	fmt.Println()
 	srv.StatsTable().Render(os.Stdout)

@@ -1,35 +1,131 @@
-// Distributed data-parallel training with remote storage (the Figure 14
-// scenario) on the REAL engine: two nodes each run a full SAND service,
-// fetch the encoded dataset once from a bandwidth-accounted remote store
-// (the Filestore role), shard every epoch's iterations round-robin, and
-// synchronize at a DDP barrier per global step.
+// Distributed training through the fleet control plane: N real nodes
+// each run a full SAND service for the same configuration, serve their
+// view filesystems over TCP, and announce themselves to an HTTP
+// registry. The consumer mounts the whole fleet through one
+// fleet.Router — every batch open is rendezvous-hashed to a node — and
+// trains straight through a mid-epoch node failure: the router fails
+// the open over to a replica and, because views are deterministic from
+// (config, seed), the epoch finishes byte-for-byte identical to a
+// single-node baseline.
+//
+// Each node owns a private obs registry (no shared-process collisions);
+// the fleet collector scrapes every node's /metrics.json and serves one
+// merged /metrics with per-node labels from the registry process.
+//
+//	go run ./examples/distributed                  # 3 nodes, kill one mid-epoch
+//	go run ./examples/distributed -fail drain      # drain instead of kill
+//	go run ./examples/distributed -nodes 5 -fail none
+//
+// The process exits non-zero if the epoch cannot complete, any batch
+// differs from the baseline, or the fleet metrics lose a node's series.
 package main
 
 import (
+	"crypto/sha256"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
-	"sand/internal/cluster"
 	"sand/internal/config"
+	"sand/internal/core"
 	"sand/internal/dataset"
-	"sand/internal/metrics"
+	"sand/internal/fleet"
 	"sand/internal/obs"
+	"sand/internal/vfs"
+	"sand/internal/viewserver"
 )
 
-func main() {
-	ds, err := dataset.Kinetics400.Miniature(8, 64, 64, 60, 33)
-	if err != nil {
-		log.Fatal(err)
+// node is one serving member of the fleet: its own service, view
+// server, obs registry, metrics endpoint, and heartbeat loop.
+type node struct {
+	name        string
+	reg         *obs.Registry
+	svc         *core.Service
+	srv         *viewserver.Server
+	addr        string
+	metricsStop func() error
+	hb          *fleet.Heartbeater
+	down        bool
+}
+
+func (n *node) kill() {
+	if n.down {
+		return
 	}
-	store, err := cluster.NewRemoteStore(ds)
+	n.down = true
+	n.hb.Stop()
+	n.srv.Close()
+	_ = n.metricsStop()
+	n.svc.Close()
+}
+
+func startNode(i int, ds *dataset.Dataset, task *config.Task, epochs int, registryAddr string) (*node, error) {
+	reg := obs.New() // private per node: the collector merges, nothing collides
+	svc, err := core.New(core.Options{
+		Tasks:       []*config.Task{task},
+		Dataset:     ds,
+		ChunkEpochs: 3,
+		TotalEpochs: epochs,
+		Workers:     2,
+		Coordinate:  true,
+		Seed:        5,
+		Obs:         reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := viewserver.New(svc.FS(), viewserver.Options{ReadAhead: 1, Obs: reg})
+	addr, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	maddr, mstop, err := reg.StartServer("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	n := &node{
+		name:        fmt.Sprintf("node%d", i),
+		reg:         reg,
+		svc:         svc,
+		srv:         srv,
+		addr:        addr.String(),
+		metricsStop: mstop,
+	}
+	n.hb, err = fleet.StartHeartbeater(fleet.NewRegistryClient(registryAddr), fleet.NodeInfo{
+		Name:        n.name,
+		Addr:        n.addr,
+		MetricsAddr: maddr.String(),
+		Fingerprint: svc.Fingerprint(),
+		Capacity:    1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func main() {
+	nNodes := flag.Int("nodes", 3, "fleet size")
+	epochs := flag.Int("epochs", 3, "epochs to train")
+	failMode := flag.String("fail", "kill", "mid-epoch failure to inject: kill | drain | none")
+	flag.Parse()
+	if *nNodes < 2 && *failMode != "none" {
+		log.Fatal("distributed: need at least 2 nodes to survive a failure")
+	}
+
+	ds, err := dataset.Kinetics400.Miniature(8, 64, 64, 60, 33)
 	if err != nil {
 		log.Fatal(err)
 	}
 	task := &config.Task{
 		Tag:         "ddp",
 		Source:      config.SourceFile,
-		DatasetPath: "/remote/kinetics-mini",
+		DatasetPath: "/dataset/kinetics-mini",
 		Sampling:    config.Sampling{VideosPerBatch: 2, FramesPerVideo: 6, FrameStride: 2, SamplesPerVideo: 1},
 		Stages: []config.Stage{{
 			Name: "resize", Type: config.BranchSingle,
@@ -37,39 +133,182 @@ func main() {
 			Ops: []config.OpSpec{{Op: "resize", Params: map[string]any{"shape": []any{48, 48}}}},
 		}},
 	}
-	const epochs = 3
-	c, err := cluster.New(store, cluster.Options{
-		Nodes: 2, Task: task,
-		ChunkEpochs: 3, TotalEpochs: epochs, Workers: 2, Seed: 5,
+
+	// Control plane: registry + collector behind one HTTP listener.
+	registry := fleet.NewRegistry(fleet.RegistryOptions{
+		SuspectAfter: 400 * time.Millisecond,
+		DeadAfter:    1200 * time.Millisecond,
+	})
+	defer registry.Close()
+	collector := fleet.NewCollector(fleet.CollectorOptions{Lister: fleet.LocalAnnouncer{R: registry}})
+	registry.AttachCollector(collector)
+	regAddr, regStop, err := registry.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer regStop()
+	fmt.Printf("fleet registry on http://%s (try: sandctl -registry %s nodes)\n", regAddr, regAddr)
+
+	// Dataplane: N real nodes, announced over HTTP.
+	nodes := make([]*node, *nNodes)
+	for i := range nodes {
+		if nodes[i], err = startNode(i, ds, task, *epochs, regAddr.String()); err != nil {
+			log.Fatal(err)
+		}
+		defer nodes[i].kill()
+		fmt.Printf("  %s serving on %s\n", nodes[i].name, nodes[i].addr)
+	}
+
+	// Baseline: one local service with the same (config, seed). Fleet
+	// reads must reproduce these bytes exactly, failover or not.
+	baseReg := obs.New()
+	base, err := core.New(core.Options{
+		Tasks:       []*config.Task{task},
+		Dataset:     ds,
+		ChunkEpochs: 3,
+		TotalEpochs: *epochs,
+		Workers:     2,
+		Coordinate:  true,
+		Seed:        5,
+		Obs:         baseReg,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Close()
+	defer base.Close()
 
-	setupTraffic := store.BytesServed()
-	steps := 0
-	if err := c.Run(epochs, func(r cluster.StepResult) { steps++ }); err != nil {
-		log.Fatal(err)
+	// Consumer: one router mount over the registry, standard loader on top.
+	ctl := fleet.NewRegistryClient(regAddr.String())
+	router := fleet.NewRouter(ctl, fleet.RouterOptions{RefreshEvery: 100 * time.Millisecond})
+	defer router.Shutdown()
+
+	victim := nodes[len(nodes)-1]
+	failEpoch := 1
+	if *failMode == "none" || *epochs < 2 {
+		failEpoch = -1
+	}
+	steps, failovers := 0, router.Stats().Failovers
+	for epoch := 0; epoch < *epochs; epoch++ {
+		iters, err := base.ItersInEpoch(task.Tag, epoch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for iter := 0; iter < iters; iter++ {
+			if epoch == failEpoch && iter == iters/2 {
+				switch *failMode {
+				case "kill":
+					fmt.Printf("\n!! killing %s mid-epoch (step %d/%d of epoch %d)\n\n", victim.name, iter, iters, epoch)
+					victim.kill()
+				case "drain":
+					fmt.Printf("\n!! draining %s mid-epoch (step %d/%d of epoch %d)\n\n", victim.name, iter, iters, epoch)
+					if err := ctl.Drain(victim.name); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			path := vfs.BatchPath(task.Tag, epoch, iter)
+			got, err := readAll(router, path)
+			if err != nil {
+				log.Fatalf("distributed: epoch %d iter %d through fleet: %v", epoch, iter, err)
+			}
+			want, err := readAll(base.FS(), path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if sha256.Sum256(got) != sha256.Sum256(want) {
+				log.Fatalf("distributed: batch %s differs from single-node baseline", path)
+			}
+			steps++
+		}
+		fmt.Printf("epoch %d: %d batches, all byte-identical to baseline\n", epoch, iters)
+	}
+	stats := router.Stats()
+	fmt.Printf("\n%d steps through the fleet, %d failovers, opens by node: %v\n",
+		steps, stats.Failovers-failovers, stats.OpensByNode)
+
+	// The registry watched the failure happen: deadline sweeps walk the
+	// victim announced -> healthy -> suspect -> dead (kill) or park it in
+	// draining (drain).
+	if failEpoch >= 0 {
+		wantState := fleet.StateDraining
+		if *failMode == "kill" {
+			wantState = fleet.StateDead
+		}
+		if err := waitForState(ctl, victim.name, wantState, 5*time.Second); err != nil {
+			log.Fatal(err)
+		}
+		st, _ := ctl.Nodes()
+		for _, n := range st {
+			if n.Info.Name != victim.name {
+				continue
+			}
+			fmt.Printf("registry history for %s:\n", n.Info.Name)
+			for _, tr := range n.History {
+				fmt.Printf("  %s -> %s\n", tr.FromName, tr.ToName)
+			}
+		}
 	}
 
-	fmt.Printf("DDP run: %d nodes, %d epochs, %d node-steps, %d allreduce barriers\n",
-		len(c.Nodes()), epochs, steps, c.Barriers())
-	for _, n := range c.Nodes() {
-		st := n.Service().Stats()
-		fmt.Printf("  node %d: %d batches, %d clips, %d frames decoded, %d objects reused\n",
-			n.ID, n.Batches(), n.Clips(), st.ObjectsDecoded, st.ObjectsReused)
-	}
-	// The headline of Figure 14: the remote store served the dataset
-	// exactly once per node; every epoch after that fed from local cache.
-	naive := setupTraffic * int64(epochs) // re-fetching every epoch
-	fmt.Printf("\nremote traffic: %s total (fetch-once).\n", metrics.Bytes(float64(store.BytesServed())))
-	fmt.Printf("an on-demand pipeline re-reading per epoch would move %s — SAND uses %s of it.\n",
-		metrics.Bytes(float64(naive)), metrics.Pct(float64(store.BytesServed())/float64(naive)))
-	// Node services report into the process-wide registry (histograms and
-	// counters aggregate across nodes; snapshots show the last registrant).
-	fmt.Println()
-	if err := obs.Default().WriteText(os.Stdout); err != nil {
+	// One pane of glass: the merged exposition must carry every live
+	// node's series under its own label (the killed node's exporter is
+	// gone; the drained one keeps reporting).
+	resp, err := http.Get("http://" + regAddr.String() + "/metrics")
+	if err != nil {
 		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	text := string(body)
+	for _, n := range nodes {
+		if n.down {
+			continue
+		}
+		label := fmt.Sprintf("node=%q", n.name)
+		if !strings.Contains(text, label) {
+			log.Fatalf("distributed: fleet /metrics is missing %s", label)
+		}
+		fmt.Printf("fleet /metrics carries %s series\n", label)
+	}
+	if !strings.Contains(text, fmt.Sprintf("node=%q", fleet.FleetLabel)) {
+		log.Fatal("distributed: fleet /metrics is missing the merged _fleet series")
+	}
+
+	fmt.Println("\nmerged fleet histogram (viewserver request latency):")
+	h := collector.MergedHistogram("viewserver.request_ns")
+	s := h.Snapshot()
+	fmt.Printf("  count=%d p50=%s p99=%s\n", s.Count,
+		time.Duration(s.Quantile(0.50)), time.Duration(s.Quantile(0.99)))
+	fmt.Println("\nOK: epoch completed byte-for-byte through the failure")
+	_ = os.Stdout.Sync()
+}
+
+// readAll runs the open/read-all/close cycle on any mount.
+func readAll(m vfs.Mount, path string) ([]byte, error) {
+	fd, err := m.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close(fd)
+	return m.ReadAll(fd)
+}
+
+func waitForState(ctl *fleet.RegistryClient, name string, want fleet.NodeState, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		nodes, err := ctl.Nodes()
+		if err == nil {
+			for _, n := range nodes {
+				if n.Info.Name == name && n.State == want {
+					return nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("distributed: %s never reached %s", name, want)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

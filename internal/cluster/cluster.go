@@ -9,10 +9,12 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"sand/internal/config"
 	"sand/internal/core"
 	"sand/internal/dataset"
+	"sand/internal/fleet"
 	"sand/internal/frame"
 	"sand/internal/viewserver"
 )
@@ -84,10 +86,11 @@ func (r *RemoteStore) Fetches() int {
 // over a local dataset copy; in RemoteViews mode it is a thin consumer
 // reading batch views from the shared view server through a real socket.
 type Node struct {
-	ID  int
-	svc *core.Service
-	ldr *core.Loader
-	cli *viewserver.Client // non-nil in RemoteViews mode
+	ID     int
+	svc    *core.Service
+	ldr    *core.Loader
+	cli    *viewserver.Client // non-nil in RemoteViews mode
+	router *fleet.Router      // non-nil in fleet-routed RemoteViews mode
 
 	mu      sync.Mutex
 	batches int
@@ -96,6 +99,9 @@ type Node struct {
 
 // Service exposes the node's engine (for stats).
 func (n *Node) Service() *core.Service { return n.svc }
+
+// Router exposes the node's fleet router (nil outside fleet mode).
+func (n *Node) Router() *fleet.Router { return n.router }
 
 // Batches returns how many batches the node has consumed.
 func (n *Node) Batches() int {
@@ -133,6 +139,12 @@ type Options struct {
 	// ReadAhead tunes the view server's sequential prefetch depth in
 	// RemoteViews mode (0 = server default).
 	ReadAhead int
+	// FleetServers (RemoteViews mode) exports the shared engine through
+	// that many viewserver replicas registered in a fleet control plane;
+	// every worker then mounts through a fleet.Router (rendezvous-hashed
+	// shard routing, health-aware failover) instead of one direct
+	// client. 0 keeps the single direct connection.
+	FleetServers int
 }
 
 // Cluster coordinates DDP training over a remote store.
@@ -145,6 +157,12 @@ type Cluster struct {
 	// the server exporting its views.
 	central *core.Service
 	vsrv    *viewserver.Server
+
+	// Fleet-routed RemoteViews dataplane (FleetServers > 0): replica
+	// servers, their heartbeaters and the registry they announce to.
+	fsrvs    []*viewserver.Server
+	fhbs     []*fleet.Heartbeater
+	registry *fleet.Registry
 
 	mu       sync.Mutex
 	barriers int
@@ -222,6 +240,9 @@ func (c *Cluster) buildRemoteViews() error {
 		return fmt.Errorf("cluster: view-server engine: %w", err)
 	}
 	c.central = svc
+	if c.opts.FleetServers > 0 {
+		return c.buildFleetViews(svc)
+	}
 	c.vsrv = viewserver.New(svc.FS(), viewserver.Options{ReadAhead: c.opts.ReadAhead})
 	addr, err := c.vsrv.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -241,20 +262,74 @@ func (c *Cluster) buildRemoteViews() error {
 	return nil
 }
 
+// buildFleetViews stands up the fleet-routed dataplane: FleetServers
+// viewserver replicas over the shared engine, each announced to an
+// in-process fleet registry with heartbeats; every worker mounts the
+// fleet through its own router, so opens spread across replicas and a
+// dying replica fails over instead of failing the epoch.
+func (c *Cluster) buildFleetViews(svc *core.Service) error {
+	c.registry = fleet.NewRegistry(fleet.RegistryOptions{
+		SuspectAfter: 500 * time.Millisecond,
+		DeadAfter:    1500 * time.Millisecond,
+	})
+	ann := fleet.LocalAnnouncer{R: c.registry}
+	for i := 0; i < c.opts.FleetServers; i++ {
+		srv := viewserver.New(svc.FS(), viewserver.Options{ReadAhead: c.opts.ReadAhead})
+		addr, err := srv.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("cluster: replica %d listen: %w", i, err)
+		}
+		c.fsrvs = append(c.fsrvs, srv)
+		name := fmt.Sprintf("replica%d", i)
+		hb, err := fleet.StartHeartbeater(ann, fleet.NodeInfo{
+			Name:        name,
+			Addr:        addr.String(),
+			Fingerprint: svc.Fingerprint(),
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: replica %d announce: %w", i, err)
+		}
+		c.fhbs = append(c.fhbs, hb)
+	}
+	for i := 0; i < c.opts.Nodes; i++ {
+		router := fleet.NewRouter(ann, fleet.RouterOptions{
+			Fingerprint:  svc.Fingerprint(),
+			RefreshEvery: 100 * time.Millisecond,
+		})
+		ldr, err := core.NewRemoteLoader(router, c.opts.Task.Tag)
+		if err != nil {
+			router.Shutdown()
+			return err
+		}
+		c.nodes = append(c.nodes, &Node{ID: i, svc: svc, ldr: ldr, router: router})
+	}
+	return nil
+}
+
 // Nodes returns the cluster's workers.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
 
 // ViewServer returns the RemoteViews-mode dataplane server (nil in the
-// in-process mode) for stats inspection.
+// in-process and fleet modes) for stats inspection.
 func (c *Cluster) ViewServer() *viewserver.Server { return c.vsrv }
+
+// FleetServers returns the fleet-mode replica servers (nil otherwise).
+func (c *Cluster) FleetServers() []*viewserver.Server { return c.fsrvs }
+
+// Registry returns the fleet-mode control plane (nil otherwise).
+func (c *Cluster) Registry() *fleet.Registry { return c.registry }
 
 // WireBytes returns payload bytes actually moved over sockets by the
 // batch dataplane — measured, not simulated. Zero unless RemoteViews.
 func (c *Cluster) WireBytes() int64 {
-	if c.vsrv == nil {
-		return 0
+	var total int64
+	if c.vsrv != nil {
+		total += c.vsrv.Stats().BytesServed
 	}
-	return c.vsrv.Stats().BytesServed
+	for _, srv := range c.fsrvs {
+		total += srv.Stats().BytesServed
+	}
+	return total
 }
 
 // Barriers returns how many DDP synchronization barriers completed.
@@ -272,9 +347,21 @@ func (c *Cluster) Close() {
 			if n.cli != nil {
 				n.cli.Shutdown()
 			}
+			if n.router != nil {
+				n.router.Shutdown()
+			}
+		}
+		for _, hb := range c.fhbs {
+			hb.Stop()
 		}
 		if c.vsrv != nil {
 			c.vsrv.Close()
+		}
+		for _, srv := range c.fsrvs {
+			srv.Close()
+		}
+		if c.registry != nil {
+			c.registry.Close()
 		}
 		if c.central != nil {
 			c.central.Close()

@@ -6,6 +6,7 @@ import (
 
 	"sand/internal/config"
 	"sand/internal/dataset"
+	"sand/internal/fleet"
 	"sand/internal/vfs"
 )
 
@@ -291,5 +292,98 @@ func TestDDPNodesShareNoState(t *testing.T) {
 	s1 := c.Nodes()[1].Service().Stats()
 	if s0.BatchesServed == 0 || s1.BatchesServed == 0 {
 		t.Fatalf("node stats empty: %+v %+v", s0, s1)
+	}
+}
+
+func TestDDPFleetRoutedViews(t *testing.T) {
+	// FleetServers mode: the shared engine exports through three replica
+	// servers behind a fleet registry; workers mount through routers.
+	// DDP semantics and byte content must be unchanged.
+	ds := miniDataset(t, 6)
+	store, _ := NewRemoteStore(ds)
+	c, err := New(store, Options{
+		Nodes: 2, Task: miniTask(t),
+		ChunkEpochs: 2, TotalEpochs: 2, Workers: 2, Seed: 3,
+		RemoteViews: true, FleetServers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if got := len(c.FleetServers()); got != 3 {
+		t.Fatalf("%d replica servers, want 3", got)
+	}
+	healthy := 0
+	for _, n := range c.Registry().Nodes() {
+		if n.State == fleet.StateHealthy {
+			healthy++
+		}
+	}
+	if healthy != 3 {
+		t.Fatalf("%d healthy replicas, want 3", healthy)
+	}
+
+	clips := 0
+	seen := map[[2]int]int{}
+	if err := c.Run(2, func(r StepResult) {
+		clips += r.Batch.Len()
+		seen[[2]int{r.Batch.Epoch, r.Batch.Iteration}]++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if clips != 2*len(ds.Videos) {
+		t.Fatalf("consumed %d clips, want %d", clips, 2*len(ds.Videos))
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Fatalf("iteration %v consumed %d times", key, n)
+		}
+	}
+	if c.WireBytes() == 0 {
+		t.Fatal("no bytes measured on the fleet wire")
+	}
+	// Routing really spread across the replica set.
+	opens := map[string]int64{}
+	for _, n := range c.Nodes() {
+		for name, v := range n.Router().Stats().OpensByNode {
+			opens[name] += v
+		}
+	}
+	if len(opens) < 2 {
+		t.Fatalf("opens all landed on one replica: %v", opens)
+	}
+}
+
+func TestDDPFleetSurvivesReplicaDeath(t *testing.T) {
+	// Killing one of three replicas between epochs must not fail the
+	// run: routers fail the victim's keys over to the survivors.
+	ds := miniDataset(t, 6)
+	store, _ := NewRemoteStore(ds)
+	c, err := New(store, Options{
+		Nodes: 2, Task: miniTask(t),
+		ChunkEpochs: 2, TotalEpochs: 2, Workers: 2, Seed: 3,
+		RemoteViews: true, FleetServers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.RunEpoch(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Hard-kill replica 0: stop its beats, close its listener.
+	c.fhbs[0].Stop()
+	c.fsrvs[0].Close()
+	if err := c.Registry().Forget("replica0"); err != nil {
+		t.Fatal(err)
+	}
+	clips := 0
+	if err := c.RunEpoch(1, func(r StepResult) { clips += r.Batch.Len() }); err != nil {
+		t.Fatalf("epoch after replica death: %v", err)
+	}
+	if clips != len(ds.Videos) {
+		t.Fatalf("post-failure epoch consumed %d clips, want %d", clips, len(ds.Videos))
 	}
 }

@@ -280,6 +280,12 @@ func (s *Service) FS() *vfs.FS { return s.fs }
 // Obs returns the service's observability registry.
 func (s *Service) Obs() *obs.Registry { return s.reg }
 
+// Fingerprint returns the configuration hash covering task configs,
+// dataset identity and seed — the same value the plan manifest checks.
+// Fleet nodes announce it so a router only spreads view opens across
+// nodes that would serve byte-identical views.
+func (s *Service) Fingerprint() string { return s.cachedFingerprint }
+
 // memPressure is the engine-wide memory signal fed to the scheduler: the
 // object store's fill plus the decoded-GOP cache's footprint, both
 // against the configured memory budget. The store alone self-limits at

@@ -1,0 +1,147 @@
+// Package fleet is SAND's control plane for horizontal scale: many
+// sandserve nodes serving one dataset behind a single logical mount.
+//
+// Three pieces:
+//
+//   - Registry: an HTTP/JSON service where nodes announce themselves
+//     (address, dataset fingerprint, capacity) and heartbeat. Each node
+//     is tracked by a health state machine —
+//
+//     announced ──beat──▶ healthy ◀──beat── suspect
+//     healthy ──deadline──▶ suspect ──deadline──▶ dead
+//     any live state ──drain──▶ draining ──deadline──▶ dead
+//
+//     driven by heartbeat deadlines: a node that misses SuspectAfter is
+//     suspect (deprioritized for new opens), one that misses DeadAfter
+//     is dead (never routed to; must re-announce). Draining is explicit:
+//     the node keeps heartbeating and serving existing descriptors but
+//     receives no new opens.
+//
+//   - Router: a vfs.Mount that resolves every view open to a node via
+//     weighted rendezvous hashing over the view path, fails over to the
+//     next candidate on suspect/dead/unreachable nodes, and migrates
+//     descriptors of a dying node mid-read (offsets are client-tracked,
+//     so a re-open on a replica resumes byte-exact). One
+//     viewserver.Client per node, reused across opens.
+//
+//   - Collector: pulls every registered node's obs registry (the
+//     /metrics.json structured export), rebuilds histograms and merges
+//     them via obs.Histogram.Merge, and serves fleet-level
+//     Prometheus-style /metrics with per-node labels next to the merged
+//     aggregate.
+//
+// Nodes announce the engine's configuration fingerprint
+// (core.Service.Fingerprint); the router only routes within the
+// fingerprint group it was configured for (or the first one it saw), so
+// a misconfigured node can never serve wrong bytes into a training run.
+package fleet
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeState is one station of the per-node health state machine.
+type NodeState int
+
+const (
+	// StateAnnounced: registered, no heartbeat observed yet.
+	StateAnnounced NodeState = iota
+	// StateHealthy: heartbeating within SuspectAfter.
+	StateHealthy
+	// StateSuspect: missed heartbeats past SuspectAfter; deprioritized
+	// for new opens, recovers to healthy on the next heartbeat.
+	StateSuspect
+	// StateDead: missed heartbeats past DeadAfter (or was forgotten);
+	// never routed to. A dead node must re-announce to rejoin.
+	StateDead
+	// StateDraining: explicitly draining — keeps heartbeating and serves
+	// existing descriptors, but receives no new opens. Transitions to
+	// dead when its heartbeats stop.
+	StateDraining
+)
+
+// String returns the lowercase state name used on the wire and in logs.
+func (s NodeState) String() string {
+	switch s {
+	case StateAnnounced:
+		return "announced"
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	case StateDraining:
+		return "draining"
+	default:
+		return fmt.Sprintf("NodeState(%d)", int(s))
+	}
+}
+
+// Routable reports whether new view opens may be sent to a node in this
+// state. Suspect stays routable as a last resort (the router prefers
+// healthy nodes first); draining and dead are not.
+func (s NodeState) Routable() bool {
+	return s == StateHealthy || s == StateSuspect
+}
+
+// NodeInfo is what a node announces about itself.
+type NodeInfo struct {
+	// Name is the node's unique fleet identity ("node0", host:port, …).
+	Name string `json:"name"`
+	// Addr is the viewserver address clients dial (host:port).
+	Addr string `json:"addr"`
+	// Network is the dial network for Addr ("tcp" default, or "unix").
+	Network string `json:"network,omitempty"`
+	// MetricsAddr is the node's obs HTTP address (host:port) the
+	// collector scrapes; empty means the node exports no metrics.
+	MetricsAddr string `json:"metrics_addr,omitempty"`
+	// Fingerprint is the engine configuration hash
+	// (core.Service.Fingerprint): nodes with equal fingerprints serve
+	// byte-identical views.
+	Fingerprint string `json:"fingerprint"`
+	// Capacity is the node's relative routing weight (concurrent-session
+	// budget, GPU count, …). <= 0 means 1.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+func (i NodeInfo) network() string {
+	if i.Network == "" {
+		return "tcp"
+	}
+	return i.Network
+}
+
+func (i NodeInfo) weight() float64 {
+	if i.Capacity <= 0 {
+		return 1
+	}
+	return float64(i.Capacity)
+}
+
+// Transition is one recorded state change of a node.
+type Transition struct {
+	From NodeState `json:"-"`
+	To   NodeState `json:"-"`
+	At   time.Time `json:"at"`
+	// FromName/ToName carry the states over JSON.
+	FromName string `json:"from"`
+	ToName   string `json:"to"`
+}
+
+// NodeStatus is the registry's view of one node.
+type NodeStatus struct {
+	Info  NodeInfo  `json:"info"`
+	State NodeState `json:"-"`
+	// StateName carries State over JSON.
+	StateName string `json:"state"`
+	// Gen increments on every (re-)announce, so a node that died and
+	// came back is distinguishable from one that never left.
+	Gen int `json:"gen"`
+	// LastBeat is the time of the last accepted heartbeat (zero before
+	// the first).
+	LastBeat time.Time `json:"last_beat,omitempty"`
+	// History records every state transition, oldest first.
+	History []Transition `json:"history,omitempty"`
+}

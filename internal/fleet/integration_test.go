@@ -1,0 +1,273 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"sand/internal/vfs"
+	"sand/internal/viewserver"
+)
+
+// TestFleetSurvivesNodeDeathMidEpoch is the control plane's acceptance
+// test, run under -race by the tier-1 gate: three nodes announce to an
+// HTTP registry and heartbeat; a consumer routes an epoch through the
+// fleet; one node is killed mid-epoch. The epoch must complete
+// byte-for-byte identical to a single-node baseline, the collector's
+// /metrics must carry per-node labeled request histograms plus the
+// merged aggregate, and the registry must walk the dead node through
+// announced -> healthy -> suspect -> dead.
+func TestFleetSurvivesNodeDeathMidEpoch(t *testing.T) {
+	ds, task := fleetDataset(t), fleetTask(t)
+
+	registry := NewRegistry(RegistryOptions{
+		SuspectAfter: 250 * time.Millisecond,
+		DeadAfter:    750 * time.Millisecond,
+	})
+	defer registry.Close()
+	collector := NewCollector(CollectorOptions{Lister: LocalAnnouncer{R: registry}})
+	registry.AttachCollector(collector)
+	regAddr, regStop, err := registry.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer regStop()
+
+	// Three real nodes, each with its own obs registry and metrics
+	// endpoint, announced over HTTP.
+	type fleetNode struct {
+		*testServeNode
+		mstop func() error
+		hb    *Heartbeater
+	}
+	var nodes []*fleetNode
+	for i := 0; i < 3; i++ {
+		n := &fleetNode{testServeNode: startServeNode(t, fmt.Sprintf("n%d", i), ds, task, 2)}
+		maddr, mstop, err := n.reg.StartServer("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.mstop = mstop
+		t.Cleanup(func() { _ = n.mstop() })
+		n.hb, err = StartHeartbeater(NewRegistryClient(regAddr.String()), NodeInfo{
+			Name:        n.name,
+			Addr:        n.addr,
+			MetricsAddr: maddr.String(),
+			Fingerprint: n.svc.Fingerprint(),
+			Capacity:    1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.hb.Stop)
+		nodes = append(nodes, n)
+	}
+
+	// Single-node baseline: same (config, seed) — determinism makes
+	// replicas interchangeable, so this is the ground truth.
+	baseline := startServeNode(t, "baseline", ds, task, 2)
+	readLocal := func(path string) []byte {
+		t.Helper()
+		fs := baseline.svc.FS()
+		fd, err := fs.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fs.Close(fd)
+		data, err := fs.ReadAll(fd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	router := NewRouter(NewRegistryClient(regAddr.String()), RouterOptions{
+		RefreshEvery: 50 * time.Millisecond,
+		Client: viewserver.ClientOptions{
+			DialRetries: 1,
+			DialTimeout: time.Second,
+			BackoffBase: 5 * time.Millisecond,
+		},
+	})
+	defer router.Shutdown()
+
+	victim := nodes[2]
+	const epochs = 2
+	for epoch := 0; epoch < epochs; epoch++ {
+		iters, err := baseline.svc.ItersInEpoch(task.Tag, epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch == 1 && iters < 2 {
+			t.Fatalf("epoch too short to fail mid-way: %d iters", iters)
+		}
+		for iter := 0; iter < iters; iter++ {
+			if epoch == 1 && iter == iters/2 {
+				// Hard kill: server gone, heartbeats stop, metrics gone.
+				victim.hb.Stop()
+				victim.srv.Close()
+				_ = victim.mstop()
+			}
+			path := vfs.BatchPath(task.Tag, epoch, iter)
+			fd, err := router.Open(path)
+			if err != nil {
+				t.Fatalf("epoch %d iter %d: %v", epoch, iter, err)
+			}
+			got, err := router.ReadAll(fd)
+			if cerr := router.Close(fd); cerr != nil {
+				t.Fatal(cerr)
+			}
+			if err != nil {
+				t.Fatalf("epoch %d iter %d read: %v", epoch, iter, err)
+			}
+			if !bytes.Equal(got, readLocal(path)) {
+				t.Fatalf("epoch %d iter %d: fleet bytes differ from single-node baseline", epoch, iter)
+			}
+		}
+	}
+
+	// Health: the registry must age the victim through the full chain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, ok := registry.Node(victim.name)
+		if ok && st.State == StateDead {
+			var chain []NodeState
+			for _, tr := range st.History {
+				if tr.From != tr.To {
+					chain = append(chain, tr.To)
+				}
+			}
+			want := []NodeState{StateHealthy, StateSuspect, StateDead}
+			if len(chain) != len(want) {
+				t.Fatalf("victim history %v, want %v", st.History, want)
+			}
+			for i := range want {
+				if chain[i] != want[i] {
+					t.Fatalf("victim transition %d = %s, want %s", i, chain[i], want[i])
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never died: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Routing: the victim's keys failed over, nothing else broke.
+	rst := router.Stats()
+	if rst.Failovers == 0 && rst.Rebinds == 0 && rst.OpensByNode[victim.name] > 0 {
+		t.Fatalf("victim served opens but no failover was recorded: %+v", rst)
+	}
+
+	// Observability: the fleet /metrics carries the survivors' request
+	// histograms under their own labels plus the merged aggregate.
+	resp, err := http.Get("http://" + regAddr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, n := range nodes[:2] {
+		label := fmt.Sprintf("sand_viewserver_request_seconds_count{node=%q}", n.name)
+		if !strings.Contains(text, label) {
+			t.Fatalf("fleet /metrics missing %s:\n%s", label, text)
+		}
+	}
+	if !strings.Contains(text, fmt.Sprintf("sand_viewserver_request_seconds_count{node=%q}", FleetLabel)) {
+		t.Fatalf("fleet /metrics missing the merged aggregate:\n%s", text)
+	}
+	// The merged histogram equals the survivors' sum (the dead node's
+	// exporter is gone, so it contributes nothing to this pull).
+	var wantCount int64
+	for _, n := range nodes[:2] {
+		for _, s := range n.reg.Gather() {
+			if s.Name == "viewserver.request_ns" && s.Hist != nil {
+				wantCount += s.Hist.Count
+			}
+		}
+	}
+	if got := collector.MergedHistogram("viewserver.request_ns").Count(); got < wantCount {
+		t.Fatalf("merged request histogram count %d < survivors' %d", got, wantCount)
+	}
+}
+
+// TestFleetDrainFinishesOpenStreams covers the graceful path: a drained
+// node accepts no new opens, but a stream opened before the drain keeps
+// reading from it, and its metrics stay in the fleet exposition.
+func TestFleetDrainFinishesOpenStreams(t *testing.T) {
+	ds, task := fleetDataset(t), fleetTask(t)
+	registry := NewRegistry(RegistryOptions{SuspectAfter: time.Hour})
+	defer registry.Close()
+
+	var anns []*Heartbeater
+	var sts []*testServeNode
+	for i := 0; i < 3; i++ {
+		n := startServeNode(t, fmt.Sprintf("n%d", i), ds, task, 1)
+		hb, err := StartHeartbeater(LocalAnnouncer{R: registry}, NodeInfo{
+			Name: n.name, Addr: n.addr, Fingerprint: n.svc.Fingerprint(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(hb.Stop)
+		anns = append(anns, hb)
+		sts = append(sts, n)
+	}
+	router := NewRouter(LocalAnnouncer{R: registry}, RouterOptions{RefreshEvery: 50 * time.Millisecond})
+	defer router.Shutdown()
+
+	iters, err := sts[0].svc.ItersInEpoch(task.Tag, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open everything once and find a descriptor on the node we'll drain.
+	owners := map[int]string{}
+	prev := map[string]int64{}
+	for iter := 0; iter < iters; iter++ {
+		fd, err := router.Open(vfs.BatchPath(task.Tag, 0, iter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := router.Stats().OpensByNode
+		for name, n := range cur {
+			if n > prev[name] {
+				owners[fd] = name
+			}
+		}
+		prev = cur
+	}
+	var drainFD int
+	var drained string
+	for fd, name := range owners {
+		drainFD, drained = fd, name
+		break
+	}
+	if err := registry.Drain(drained); err != nil {
+		t.Fatal(err)
+	}
+	router.Refresh()
+
+	before := router.Stats().OpensByNode[drained]
+	for iter := 0; iter < iters; iter++ {
+		fd, err := router.Open(vfs.BatchPath(task.Tag, 0, iter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer router.Close(fd)
+	}
+	if after := router.Stats().OpensByNode[drained]; after != before {
+		t.Fatalf("drained node %q got %d new opens", drained, after-before)
+	}
+	if _, err := router.ReadAll(drainFD); err != nil {
+		t.Fatalf("pre-drain stream on draining node: %v", err)
+	}
+}

@@ -1,0 +1,313 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock injects time into the registry's failure detector.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testRegistry(t *testing.T) (*Registry, *fakeClock) {
+	t.Helper()
+	clk := newFakeClock()
+	r := NewRegistry(RegistryOptions{
+		SuspectAfter: time.Second,
+		DeadAfter:    3 * time.Second,
+		Now:          clk.Now,
+	})
+	t.Cleanup(r.Close)
+	return r, clk
+}
+
+func mustState(t *testing.T, r *Registry, name string, want NodeState) NodeStatus {
+	t.Helper()
+	st, ok := r.Node(name)
+	if !ok {
+		t.Fatalf("node %q unknown", name)
+	}
+	if st.State != want {
+		t.Fatalf("node %q state = %s, want %s", name, st.State, want)
+	}
+	return st
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r, clk := testRegistry(t)
+	info := NodeInfo{Name: "n1", Addr: "127.0.0.1:1"}
+	if err := r.Announce(info); err != nil {
+		t.Fatal(err)
+	}
+	st := mustState(t, r, "n1", StateAnnounced)
+	if st.Gen != 1 {
+		t.Fatalf("gen = %d, want 1", st.Gen)
+	}
+	if st.State.Routable() {
+		t.Fatal("announced node must not be routable before its first beat")
+	}
+
+	if err := r.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, r, "n1", StateHealthy)
+
+	// Silence past SuspectAfter: healthy -> suspect (still routable).
+	clk.Advance(1500 * time.Millisecond)
+	st = mustState(t, r, "n1", StateSuspect)
+	if !st.State.Routable() {
+		t.Fatal("suspect nodes stay routable (last-resort tier)")
+	}
+
+	// A beat recovers it.
+	if err := r.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, r, "n1", StateHealthy)
+
+	// Full silence: suspect first, then dead.
+	clk.Advance(1500 * time.Millisecond)
+	mustState(t, r, "n1", StateSuspect)
+	clk.Advance(2 * time.Second)
+	mustState(t, r, "n1", StateDead)
+
+	// Dead nodes must re-announce; a bare heartbeat is rejected.
+	if err := r.Heartbeat("n1"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("heartbeat on dead node: %v, want ErrUnknownNode", err)
+	}
+	if err := r.Announce(info); err != nil {
+		t.Fatal(err)
+	}
+	st = mustState(t, r, "n1", StateAnnounced)
+	if st.Gen != 2 {
+		t.Fatalf("re-announce gen = %d, want 2", st.Gen)
+	}
+
+	// An announced node that never beats dies from its announce time.
+	clk.Advance(4 * time.Second)
+	mustState(t, r, "n1", StateDead)
+}
+
+func TestRegistryHistoryChain(t *testing.T) {
+	r, clk := testRegistry(t)
+	if err := r.Announce(NodeInfo{Name: "n1", Addr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(1500 * time.Millisecond)
+	mustState(t, r, "n1", StateSuspect)
+	clk.Advance(2 * time.Second)
+	st := mustState(t, r, "n1", StateDead)
+
+	// The acceptance chain: announced -> healthy -> suspect -> dead.
+	want := []NodeState{StateHealthy, StateSuspect, StateDead}
+	var got []NodeState
+	for _, tr := range st.History {
+		if tr.From == tr.To {
+			continue // birth record
+		}
+		got = append(got, tr.To)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("history %v, want transitions to %v", st.History, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition %d goes to %s, want %s (history %v)", i, got[i], want[i], st.History)
+		}
+	}
+}
+
+func TestRegistryDrain(t *testing.T) {
+	r, clk := testRegistry(t)
+	if err := r.Announce(NodeInfo{Name: "n1", Addr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Drain("n1"); err != nil {
+		t.Fatal(err)
+	}
+	st := mustState(t, r, "n1", StateDraining)
+	if st.State.Routable() {
+		t.Fatal("draining node must not receive new opens")
+	}
+
+	// Heartbeats keep a draining node alive but never promote it.
+	clk.Advance(1500 * time.Millisecond)
+	if err := r.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, r, "n1", StateDraining)
+
+	// When its beats stop, a draining node dies like any other.
+	clk.Advance(4 * time.Second)
+	mustState(t, r, "n1", StateDead)
+
+	if err := r.Drain("n1"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("drain on dead node: %v, want ErrUnknownNode", err)
+	}
+	if err := r.Drain("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("drain on unknown node: %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestRegistryForget(t *testing.T) {
+	r, _ := testRegistry(t)
+	if err := r.Announce(NodeInfo{Name: "n1", Addr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Forget("n1"); err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, r, "n1", StateDead)
+	if err := r.Forget("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("forget unknown: %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestRegistryAnnounceValidation(t *testing.T) {
+	r, _ := testRegistry(t)
+	if err := r.Announce(NodeInfo{Addr: "127.0.0.1:1"}); !errors.Is(err, ErrBadAnnounce) {
+		t.Fatalf("nameless announce: %v", err)
+	}
+	if err := r.Announce(NodeInfo{Name: "n1"}); !errors.Is(err, ErrBadAnnounce) {
+		t.Fatalf("addressless announce: %v", err)
+	}
+}
+
+func TestRegistryStatusCounts(t *testing.T) {
+	r, clk := testRegistry(t)
+	for _, n := range []string{"a", "b", "c"} {
+		if err := r.Announce(NodeInfo{Name: n, Addr: "127.0.0.1:1"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Heartbeat(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Drain("c"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(1500 * time.Millisecond)
+	if err := r.Heartbeat("a"); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Status()
+	if st.Counts["healthy"] != 1 || st.Counts["suspect"] != 1 || st.Counts["draining"] != 1 {
+		t.Fatalf("counts = %v", st.Counts)
+	}
+	if len(st.Nodes) != 3 {
+		t.Fatalf("status lists %d nodes", len(st.Nodes))
+	}
+}
+
+// TestRegistryHTTP drives the whole HTTP surface through RegistryClient:
+// announce, heartbeat, drain, forget, the 410-means-re-announce
+// contract, and the /fleet summary.
+func TestRegistryHTTP(t *testing.T) {
+	r := NewRegistry(RegistryOptions{SuspectAfter: time.Hour})
+	defer r.Close()
+	addr, stop, err := r.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	cli := NewRegistryClient(addr.String())
+	every, err := cli.Announce(NodeInfo{Name: "n1", Addr: "127.0.0.1:9", Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if every <= 0 {
+		t.Fatalf("advertised heartbeat interval %v", every)
+	}
+	if err := cli.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := cli.Nodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].State != StateHealthy || nodes[0].Info.Capacity != 2 {
+		t.Fatalf("nodes over HTTP: %+v", nodes)
+	}
+	if err := cli.Drain("n1"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cli.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Counts["draining"] != 1 {
+		t.Fatalf("fleet counts = %v", st.Counts)
+	}
+	if err := cli.Forget("n1"); err != nil {
+		t.Fatal(err)
+	}
+	// Dead node: heartbeat comes back 410 Gone = ErrUnknownNode.
+	if err := cli.Heartbeat("n1"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("heartbeat after forget: %v, want ErrUnknownNode", err)
+	}
+	if err := cli.Drain("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("drain unknown over HTTP: %v, want ErrUnknownNode", err)
+	}
+}
+
+// TestHeartbeaterReannounces proves the beat loop resurrects a node the
+// registry declared dead (e.g. after a partition): the next beat gets
+// ErrUnknownNode and the heartbeater re-announces transparently.
+func TestHeartbeaterReannounces(t *testing.T) {
+	r := NewRegistry(RegistryOptions{
+		SuspectAfter:   200 * time.Millisecond,
+		HeartbeatEvery: 20 * time.Millisecond,
+	})
+	defer r.Close()
+	hb, err := StartHeartbeater(LocalAnnouncer{R: r}, NodeInfo{Name: "n1", Addr: "127.0.0.1:9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Stop()
+	mustState(t, r, "n1", StateHealthy)
+
+	if err := r.Forget("n1"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, ok := r.Node("n1"); ok && st.State == StateHealthy && st.Gen >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			st, _ := r.Node("n1")
+			t.Fatalf("heartbeater never resurrected the node: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

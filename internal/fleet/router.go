@@ -1,0 +1,605 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"sand/internal/obs"
+	"sand/internal/vfs"
+	"sand/internal/viewserver"
+)
+
+// NodeLister is the registry surface the router needs; *RegistryClient
+// (HTTP) and LocalAnnouncer (in-process) both satisfy it.
+type NodeLister interface {
+	Nodes() ([]NodeStatus, error)
+}
+
+// RouterOptions tunes a Router.
+type RouterOptions struct {
+	// Fingerprint is the engine configuration hash views must come from.
+	// Empty adopts the fingerprint of the first routable node seen;
+	// nodes with any other fingerprint are never routed to.
+	Fingerprint string
+	// RefreshEvery is the registry poll interval (default 250ms). The
+	// router also refreshes on demand when it runs out of candidates.
+	RefreshEvery time.Duration
+	// Client tunes the per-node viewserver clients. The zero value gets
+	// failover-friendly defaults (2 dial retries, 2s dial timeout).
+	Client viewserver.ClientOptions
+	// Obs receives router counters (opens per node, failovers, rebinds).
+	// Nil disables.
+	Obs *obs.Registry
+}
+
+func (o *RouterOptions) normalize() {
+	if o.RefreshEvery <= 0 {
+		o.RefreshEvery = 250 * time.Millisecond
+	}
+	if o.Client.DialRetries == 0 {
+		o.Client.DialRetries = 2
+	}
+	if o.Client.DialTimeout == 0 {
+		o.Client.DialTimeout = 2 * time.Second
+	}
+	if o.Client.BackoffBase == 0 {
+		o.Client.BackoffBase = 25 * time.Millisecond
+	}
+}
+
+// RouterStats counts routing decisions.
+type RouterStats struct {
+	// Opens counts successful view opens, total and per node.
+	Opens       int64
+	OpensByNode map[string]int64
+	// Failovers counts opens that skipped at least one failed node.
+	Failovers int64
+	// Rebinds counts live descriptors migrated to another node after
+	// their node died mid-use.
+	Rebinds int64
+	// Unavailable counts operations that found no live node.
+	Unavailable int64
+	// Mismatched counts nodes excluded for a foreign fingerprint.
+	Mismatched int64
+}
+
+// binding is one router descriptor: the view path plus its current home
+// node. The consumed offset is tracked router-side (reads go over the
+// wire as ReadAt), so a binding can migrate to a replica mid-stream and
+// resume byte-exact.
+type binding struct {
+	mu   sync.Mutex
+	path string
+	node string
+	cli  *viewserver.Client
+	rfd  int
+	off  int64
+}
+
+// nodeClient is a dialed client plus the address it was dialed for, so a
+// node that re-announced on a new address gets a fresh connection.
+type nodeClient struct {
+	cli  *viewserver.Client
+	addr string
+}
+
+// Router is a fleet mount: it implements vfs.Mount by resolving every
+// view open to a node via weighted rendezvous hashing over the view
+// path, failing over on suspect/dead/unreachable nodes and respecting
+// draining (no new opens; existing descriptors finish). Safe for
+// concurrent use.
+type Router struct {
+	lister NodeLister
+	opts   RouterOptions
+
+	mu          sync.Mutex
+	nodes       map[string]NodeStatus // current fingerprint-matched snapshot
+	clients     map[string]*nodeClient
+	fingerprint string
+	nextFD      int
+	fds         map[int]*binding
+	stats       RouterStats
+	closed      bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ vfs.Mount = (*Router)(nil)
+
+// NewRouter creates a router over the lister and performs an initial
+// refresh (best-effort: an empty fleet is not an error until an open
+// needs a node).
+func NewRouter(lister NodeLister, opts RouterOptions) *Router {
+	opts.normalize()
+	r := &Router{
+		lister:  lister,
+		opts:    opts,
+		nodes:   map[string]NodeStatus{},
+		clients: map[string]*nodeClient{},
+		nextFD:  3,
+		fds:     map[int]*binding{},
+		stop:    make(chan struct{}),
+	}
+	r.stats.OpensByNode = map[string]int64{}
+	r.fingerprint = opts.Fingerprint
+	r.Refresh()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(r.opts.RefreshEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				r.Refresh()
+			}
+		}
+	}()
+	if reg := opts.Obs; reg != nil {
+		reg.SnapshotFunc("fleet.router", func() map[string]int64 {
+			st := r.Stats()
+			out := map[string]int64{
+				"opens":       st.Opens,
+				"failovers":   st.Failovers,
+				"rebinds":     st.Rebinds,
+				"unavailable": st.Unavailable,
+				"mismatched":  st.Mismatched,
+			}
+			for n, v := range st.OpensByNode {
+				out["opens."+n] = v
+			}
+			return out
+		})
+	}
+	return r
+}
+
+// Refresh pulls the node list now (also runs periodically). Nodes whose
+// fingerprint differs from the router's are excluded.
+func (r *Router) Refresh() {
+	nodes, err := r.lister.Nodes()
+	if err != nil {
+		return // keep the last snapshot; the next tick retries
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fingerprint == "" {
+		for _, n := range nodes {
+			if n.State.Routable() && n.Info.Fingerprint != "" {
+				r.fingerprint = n.Info.Fingerprint
+				break
+			}
+		}
+	}
+	snap := map[string]NodeStatus{}
+	for _, n := range nodes {
+		if r.fingerprint != "" && n.Info.Fingerprint != r.fingerprint {
+			r.stats.Mismatched++
+			continue
+		}
+		snap[n.Info.Name] = n
+	}
+	r.nodes = snap
+}
+
+// Stats returns a snapshot of routing counters.
+func (r *Router) Stats() RouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	st.OpensByNode = make(map[string]int64, len(r.stats.OpensByNode))
+	for k, v := range r.stats.OpensByNode {
+		st.OpensByNode[k] = v
+	}
+	return st
+}
+
+// Shutdown drops every per-node connection and stops the refresh loop.
+// Open descriptors become invalid.
+func (r *Router) Shutdown() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	close(r.stop)
+	clients := r.clients
+	r.clients = map[string]*nodeClient{}
+	r.fds = map[int]*binding{}
+	r.mu.Unlock()
+	r.wg.Wait()
+	for _, nc := range clients {
+		nc.cli.Shutdown()
+	}
+	return nil
+}
+
+// rendezvousScore ranks node n for key: weighted rendezvous (highest
+// random weight) hashing, so each key has a stable preference order over
+// the node set and losing one node only remaps that node's keys.
+func rendezvousScore(node string, weight float64, key string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	// Uniform in (0,1): top 53 bits of the hash, offset off zero.
+	u := (float64(h.Sum64()>>11) + 0.5) / (1 << 53)
+	return -weight / math.Log(u)
+}
+
+// candidates returns the routable nodes for key in preference order:
+// healthy before suspect, rendezvous score descending within each tier.
+func (r *Router) candidates(key string) []NodeStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]NodeStatus, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n.State.Routable() {
+			out = append(out, n)
+		}
+	}
+	type ranked struct {
+		tier  int // 0 healthy, 1 suspect
+		score float64
+	}
+	rank := make(map[string]ranked, len(out))
+	for _, n := range out {
+		t := 0
+		if n.State == StateSuspect {
+			t = 1
+		}
+		rank[n.Info.Name] = ranked{tier: t, score: rendezvousScore(n.Info.Name, n.Info.weight(), key)}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := rank[out[i].Info.Name], rank[out[j].Info.Name]
+		if a.tier != b.tier {
+			return a.tier < b.tier
+		}
+		return a.score > b.score
+	})
+	return out
+}
+
+// clientFor returns (dialing if needed) the node's client. A node that
+// re-announced on a new address gets a fresh connection.
+func (r *Router) clientFor(n NodeStatus) (*viewserver.Client, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, viewserver.ErrClosed
+	}
+	if nc, ok := r.clients[n.Info.Name]; ok && nc.addr == n.Info.Addr {
+		r.mu.Unlock()
+		return nc.cli, nil
+	}
+	stale := r.clients[n.Info.Name]
+	r.mu.Unlock()
+	if stale != nil {
+		stale.cli.Shutdown()
+	}
+	cli, err := viewserver.Dial(n.Info.network(), n.Info.Addr, r.opts.Client)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		cli.Shutdown()
+		return nil, viewserver.ErrClosed
+	}
+	// Lost a dial race? Keep the winner.
+	if nc, ok := r.clients[n.Info.Name]; ok && nc.addr == n.Info.Addr {
+		r.mu.Unlock()
+		cli.Shutdown()
+		return nc.cli, nil
+	}
+	r.clients[n.Info.Name] = &nodeClient{cli: cli, addr: n.Info.Addr}
+	r.mu.Unlock()
+	return cli, nil
+}
+
+// isAppError reports whether err is an authoritative filesystem answer
+// (ENOENT and friends) rather than a node/transport failure. App errors
+// propagate to the caller; everything else triggers failover.
+func isAppError(err error) bool {
+	return errors.Is(err, vfs.ErrNotExist) ||
+		errors.Is(err, vfs.ErrIsDir) ||
+		errors.Is(err, vfs.ErrNoXattr) ||
+		errors.Is(err, vfs.ErrInvalidPath)
+}
+
+// openOnFleet resolves path to (node, client, remote fd) by walking the
+// candidate order, refreshing the node list once if the first pass finds
+// nobody usable. skip (may be empty) names a node to avoid — the one a
+// rebinding descriptor just failed on.
+func (r *Router) openOnFleet(path, skip string) (NodeStatus, *viewserver.Client, int, error) {
+	var lastErr error
+	tried := 0
+	for pass := 0; pass < 2; pass++ {
+		if pass == 1 {
+			r.Refresh()
+		}
+		for _, n := range r.candidates(path) {
+			if n.Info.Name == skip {
+				continue
+			}
+			cli, err := r.clientFor(n)
+			if err != nil {
+				tried++
+				lastErr = err
+				continue
+			}
+			rfd, err := cli.Open(path)
+			if err != nil {
+				if isAppError(err) {
+					if tried > 0 {
+						r.bumpFailovers()
+					}
+					return NodeStatus{}, nil, 0, err
+				}
+				tried++
+				lastErr = err
+				continue
+			}
+			if tried > 0 {
+				r.bumpFailovers()
+			}
+			return n, cli, rfd, nil
+		}
+	}
+	r.mu.Lock()
+	r.stats.Unavailable++
+	r.mu.Unlock()
+	if lastErr != nil {
+		return NodeStatus{}, nil, 0, fmt.Errorf("%w: %s (last: %v)", vfs.ErrUnavailable, path, lastErr)
+	}
+	return NodeStatus{}, nil, 0, fmt.Errorf("%w: %s: no routable node", vfs.ErrUnavailable, path)
+}
+
+func (r *Router) bumpFailovers() {
+	r.mu.Lock()
+	r.stats.Failovers++
+	r.mu.Unlock()
+}
+
+// Open resolves the view to a node and returns a router-local
+// descriptor.
+func (r *Router) Open(path string) (int, error) {
+	if _, err := vfs.ParsePath(path); err != nil {
+		return -1, err
+	}
+	n, cli, rfd, err := r.openOnFleet(path, "")
+	if err != nil {
+		return -1, err
+	}
+	b := &binding{path: path, node: n.Info.Name, cli: cli, rfd: rfd}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		cli.Close(rfd)
+		return -1, viewserver.ErrClosed
+	}
+	fd := r.nextFD
+	r.nextFD++
+	r.fds[fd] = b
+	r.stats.Opens++
+	r.stats.OpensByNode[n.Info.Name]++
+	r.mu.Unlock()
+	return fd, nil
+}
+
+func (r *Router) binding(fd int) (*binding, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.fds[fd]
+	if !ok {
+		return nil, vfs.ErrBadFD
+	}
+	return b, nil
+}
+
+// withBinding runs op against the descriptor's current node, migrating
+// the binding to the next candidate when the node fails mid-use (its
+// remote descriptor is re-created by re-opening the same immutable view
+// on a replica; offsets live router-side, so the stream resumes exactly
+// where it stopped). App errors and successful ops return immediately.
+func (r *Router) withBinding(fd int, op func(b *binding) error) error {
+	b, err := r.binding(fd)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		err := op(b)
+		if err == nil || isAppError(err) || errors.Is(err, io.ErrShortBuffer) {
+			return err
+		}
+		if attempt >= 1 {
+			// One migration per call: a second consecutive failure means
+			// the fleet is in real trouble; surface it.
+			return err
+		}
+		n, cli, rfd, oerr := r.openOnFleet(b.path, b.node)
+		if oerr != nil {
+			return fmt.Errorf("%w (rebind after: %v)", oerr, err)
+		}
+		b.node, b.cli, b.rfd = n.Info.Name, cli, rfd
+		r.mu.Lock()
+		r.stats.Rebinds++
+		r.stats.OpensByNode[n.Info.Name]++
+		r.mu.Unlock()
+	}
+}
+
+// Read mirrors read(2): sequential reads against the router-tracked
+// offset. Survives node death mid-stream via rebind.
+func (r *Router) Read(fd int, buf []byte) (int, error) {
+	var n int
+	var readErr error
+	err := r.withBinding(fd, func(b *binding) error {
+		nn, err := b.cli.ReadAt(b.rfd, buf, b.off)
+		// End-of-view is a bare io.EOF; a dead connection surfaces as a
+		// wrapped "viewserver: read_at: EOF". Only the former is an
+		// answer — the latter must trigger rebind, so compare identity.
+		if err != nil && err != io.EOF {
+			return err
+		}
+		b.off += int64(nn)
+		n = nn
+		if nn == 0 && err == io.EOF {
+			readErr = io.EOF
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, readErr
+}
+
+// ReadAll reads the remaining view content from the tracked offset.
+func (r *Router) ReadAll(fd int) ([]byte, error) {
+	size, err := r.Size(fd)
+	if err != nil {
+		return nil, err
+	}
+	b, err := r.binding(fd)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	remaining := size - b.off
+	b.mu.Unlock()
+	if remaining <= 0 {
+		return []byte{}, nil
+	}
+	out := make([]byte, remaining)
+	filled := 0
+	for filled < len(out) {
+		n, err := r.Read(fd, out[filled:])
+		filled += n
+		if errors.Is(err, io.EOF) {
+			return out[:filled], nil
+		}
+		if err != nil {
+			return out[:filled], err
+		}
+		if n == 0 {
+			return out[:filled], nil // defensive: no progress
+		}
+	}
+	return out, nil
+}
+
+// ReadAt mirrors pread(2): absolute offset, tracked offset untouched.
+func (r *Router) ReadAt(fd int, buf []byte, off int64) (int, error) {
+	var n int
+	var eof bool
+	err := r.withBinding(fd, func(b *binding) error {
+		nn, err := b.cli.ReadAt(b.rfd, buf, off)
+		if err != nil && err != io.EOF { // bare io.EOF = end of view (see Read)
+			return err
+		}
+		n = nn
+		eof = err == io.EOF
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if eof {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Getxattr fetches one metadata attribute.
+func (r *Router) Getxattr(fd int, name string) (string, error) {
+	var v string
+	err := r.withBinding(fd, func(b *binding) error {
+		var err error
+		v, err = b.cli.Getxattr(b.rfd, name)
+		return err
+	})
+	return v, err
+}
+
+// Listxattr lists attribute names.
+func (r *Router) Listxattr(fd int) ([]string, error) {
+	var names []string
+	err := r.withBinding(fd, func(b *binding) error {
+		var err error
+		names, err = b.cli.Listxattr(b.rfd)
+		return err
+	})
+	return names, err
+}
+
+// Size returns the view's byte size.
+func (r *Router) Size(fd int) (int64, error) {
+	var size int64
+	err := r.withBinding(fd, func(b *binding) error {
+		var err error
+		size, err = b.cli.Size(b.rfd)
+		return err
+	})
+	return size, err
+}
+
+// Close releases the descriptor (best-effort on the remote side — the
+// node may already be gone).
+func (r *Router) Close(fd int) error {
+	r.mu.Lock()
+	b, ok := r.fds[fd]
+	if ok {
+		delete(r.fds, fd)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return vfs.ErrBadFD
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_ = b.cli.Close(b.rfd)
+	return nil
+}
+
+// Readdir lists a directory on whichever routable node answers first.
+func (r *Router) Readdir(dir string) ([]string, error) {
+	var lastErr error
+	for pass := 0; pass < 2; pass++ {
+		if pass == 1 {
+			r.Refresh()
+		}
+		for _, n := range r.candidates(dir) {
+			cli, err := r.clientFor(n)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			names, err := cli.Readdir(dir)
+			if err == nil || isAppError(err) {
+				return names, err
+			}
+			lastErr = err
+		}
+	}
+	r.mu.Lock()
+	r.stats.Unavailable++
+	r.mu.Unlock()
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: readdir %s (last: %v)", vfs.ErrUnavailable, dir, lastErr)
+	}
+	return nil, fmt.Errorf("%w: readdir %s: no routable node", vfs.ErrUnavailable, dir)
+}

@@ -1,0 +1,439 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sand/internal/config"
+	"sand/internal/core"
+	"sand/internal/dataset"
+	"sand/internal/obs"
+	"sand/internal/vfs"
+	"sand/internal/viewserver"
+)
+
+func fleetDataset(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate("fleet", dataset.VideoSpec{
+		W: 32, H: 32, C: 3, Frames: 30, FPS: 30, GOP: 10,
+	}, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func fleetTask(t testing.TB) *config.Task {
+	t.Helper()
+	task := &config.Task{
+		Tag:         "fleet",
+		Source:      config.SourceFile,
+		DatasetPath: "/data/fleet",
+		Sampling:    config.Sampling{VideosPerBatch: 2, FramesPerVideo: 4, FrameStride: 2, SamplesPerVideo: 1},
+		Stages: []config.Stage{{
+			Name: "resize", Type: config.BranchSingle,
+			Inputs: []string{"frame"}, Outputs: []string{"a0"},
+			Ops: []config.OpSpec{{Op: "resize", Params: map[string]any{"shape": []any{16, 16}}}},
+		}},
+	}
+	if err := task.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+// testServeNode is one real serving node: its own service (same config
+// and seed as its replicas, so views are byte-identical), view server,
+// and private obs registry.
+type testServeNode struct {
+	name string
+	reg  *obs.Registry
+	svc  *core.Service
+	srv  *viewserver.Server
+	addr string
+}
+
+func (n *testServeNode) status(state NodeState) NodeStatus {
+	return NodeStatus{
+		Info:  NodeInfo{Name: n.name, Addr: n.addr, Fingerprint: n.svc.Fingerprint(), Capacity: 1},
+		State: state,
+	}
+}
+
+func startServeNode(t testing.TB, name string, ds *dataset.Dataset, task *config.Task, epochs int) *testServeNode {
+	t.Helper()
+	reg := obs.New()
+	svc, err := core.New(core.Options{
+		Tasks:       []*config.Task{task},
+		Dataset:     ds,
+		ChunkEpochs: epochs,
+		TotalEpochs: epochs,
+		Workers:     2,
+		Coordinate:  true,
+		Seed:        7,
+		Obs:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := viewserver.New(svc.FS(), viewserver.Options{ReadAhead: -1, Obs: reg})
+	addr, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		t.Fatal(err)
+	}
+	n := &testServeNode{name: name, reg: reg, svc: svc, srv: srv, addr: addr.String()}
+	t.Cleanup(func() { n.srv.Close(); n.svc.Close() })
+	return n
+}
+
+// memLister is an in-memory NodeLister tests mutate directly.
+type memLister struct {
+	mu    sync.Mutex
+	nodes []NodeStatus
+}
+
+func (l *memLister) Nodes() ([]NodeStatus, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]NodeStatus(nil), l.nodes...), nil
+}
+
+func (l *memLister) set(nodes ...NodeStatus) {
+	l.mu.Lock()
+	l.nodes = nodes
+	l.mu.Unlock()
+}
+
+func (l *memLister) setState(name string, st NodeState) {
+	l.mu.Lock()
+	for i := range l.nodes {
+		if l.nodes[i].Info.Name == name {
+			l.nodes[i].State = st
+		}
+	}
+	l.mu.Unlock()
+}
+
+func newTestRouter(t testing.TB, lister NodeLister) *Router {
+	t.Helper()
+	r := NewRouter(lister, RouterOptions{
+		RefreshEvery: 50 * time.Millisecond,
+		Client: viewserver.ClientOptions{
+			DialRetries: 1,
+			DialTimeout: time.Second,
+			BackoffBase: 5 * time.Millisecond,
+		},
+	})
+	t.Cleanup(func() { r.Shutdown() })
+	return r
+}
+
+// TestRouterServesIdenticalBytes opens every view of an epoch through a
+// 3-node fleet and compares each against the local filesystem: routing
+// must be invisible to the consumer.
+func TestRouterServesIdenticalBytes(t *testing.T) {
+	ds, task := fleetDataset(t), fleetTask(t)
+	var nodes []*testServeNode
+	lister := &memLister{}
+	var sts []NodeStatus
+	for i := 0; i < 3; i++ {
+		n := startServeNode(t, fmt.Sprintf("n%d", i), ds, task, 1)
+		nodes = append(nodes, n)
+		sts = append(sts, n.status(StateHealthy))
+	}
+	lister.set(sts...)
+	r := newTestRouter(t, lister)
+
+	iters, err := nodes[0].svc.ItersInEpoch(task.Tag, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters < 2 {
+		t.Fatalf("need >=2 iterations, got %d", iters)
+	}
+	for iter := 0; iter < iters; iter++ {
+		path := vfs.BatchPath(task.Tag, 0, iter)
+		fd, err := r.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.ReadAll(fd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Getxattr(fd, "user.sand.geometry"); err != nil {
+			t.Fatalf("getxattr through router: %v", err)
+		}
+		if err := r.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+		lfd, err := nodes[0].svc.FS().Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := nodes[0].svc.FS().ReadAll(lfd)
+		nodes[0].svc.FS().Close(lfd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("iter %d: fleet bytes differ from local", iter)
+		}
+	}
+	st := r.Stats()
+	if st.Opens != int64(iters) {
+		t.Fatalf("opens = %d, want %d", st.Opens, iters)
+	}
+	var sum int64
+	for _, v := range st.OpensByNode {
+		sum += v
+	}
+	if sum != st.Opens {
+		t.Fatalf("per-node opens %v don't sum to %d", st.OpensByNode, st.Opens)
+	}
+}
+
+// TestRouterFailoverMidStream kills the node serving a descriptor after
+// half the payload was consumed; the router must rebind to a replica and
+// resume at the exact offset.
+func TestRouterFailoverMidStream(t *testing.T) {
+	ds, task := fleetDataset(t), fleetTask(t)
+	a := startServeNode(t, "a", ds, task, 1)
+	b := startServeNode(t, "b", ds, task, 1)
+	lister := &memLister{}
+	lister.set(a.status(StateHealthy), b.status(StateHealthy))
+	r := newTestRouter(t, lister)
+
+	path := vfs.BatchPath(task.Tag, 0, 0)
+	lfd, err := a.svc.FS().Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.svc.FS().ReadAll(lfd)
+	a.svc.FS().Close(lfd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fd, err := r.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(fd)
+	half := len(want) / 2
+	got := make([]byte, len(want))
+	for read := 0; read < half; {
+		n, err := r.Read(fd, got[read:half])
+		if err != nil {
+			t.Fatal(err)
+		}
+		read += n
+	}
+
+	// Kill whichever node owns the binding.
+	owner := a
+	if st := r.Stats(); st.OpensByNode["b"] > 0 {
+		owner = b
+	}
+	owner.srv.Close()
+	lister.setState(owner.name, StateDead)
+
+	for read := half; read < len(want); {
+		n, err := r.Read(fd, got[read:])
+		if err != nil {
+			t.Fatalf("read after node death: %v", err)
+		}
+		if n == 0 {
+			t.Fatal("no progress after rebind")
+		}
+		read += n
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("bytes after mid-stream failover differ")
+	}
+	if st := r.Stats(); st.Rebinds == 0 {
+		t.Fatalf("expected a rebind, stats %+v", st)
+	}
+}
+
+// TestRouterDrainingStopsNewOpens parks one node in draining and proves
+// the contract: no new opens land on it, but a descriptor opened before
+// the drain keeps reading from it.
+func TestRouterDrainingStopsNewOpens(t *testing.T) {
+	ds, task := fleetDataset(t), fleetTask(t)
+	a := startServeNode(t, "a", ds, task, 1)
+	b := startServeNode(t, "b", ds, task, 1)
+	lister := &memLister{}
+	lister.set(a.status(StateHealthy), b.status(StateHealthy))
+	r := newTestRouter(t, lister)
+
+	iters, err := a.svc.ItersInEpoch(task.Tag, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open the epoch once, tracking which node owns each descriptor by
+	// diffing the per-node open counters.
+	owners := map[int]string{}
+	prev := map[string]int64{}
+	for iter := 0; iter < iters; iter++ {
+		fd, err := r.Open(vfs.BatchPath(task.Tag, 0, iter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := r.Stats().OpensByNode
+		for name, n := range cur {
+			if n > prev[name] {
+				owners[fd] = name
+			}
+		}
+		prev = cur
+	}
+	victimFD := -1
+	var victim string
+	for fd, name := range owners {
+		victim, victimFD = name, fd
+		break
+	}
+	if victimFD < 0 {
+		t.Fatal("no opens recorded")
+	}
+	lister.setState(victim, StateDraining)
+	r.Refresh()
+
+	before := r.Stats().OpensByNode[victim]
+	for iter := 0; iter < iters; iter++ {
+		fd, err := r.Open(vfs.BatchPath(task.Tag, 0, iter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close(fd)
+	}
+	if after := r.Stats().OpensByNode[victim]; after != before {
+		t.Fatalf("draining node %q got %d new opens", victim, after-before)
+	}
+	// The pre-drain descriptor still drains its existing stream.
+	if _, err := r.ReadAll(victimFD); err != nil {
+		t.Fatalf("existing descriptor on draining node: %v", err)
+	}
+	if st := r.Stats(); st.Rebinds != 0 {
+		t.Fatalf("draining must not force rebinds, stats %+v", st)
+	}
+}
+
+// TestRouterNoBackend verifies the vfs.ErrUnavailable contract on an
+// empty fleet.
+func TestRouterNoBackend(t *testing.T) {
+	r := newTestRouter(t, &memLister{})
+	if _, err := r.Open("/fleet/0/0/view"); !errors.Is(err, vfs.ErrUnavailable) {
+		t.Fatalf("open on empty fleet: %v, want vfs.ErrUnavailable", err)
+	}
+	if st := r.Stats(); st.Unavailable == 0 {
+		t.Fatal("unavailable counter not bumped")
+	}
+}
+
+// TestRouterAppErrorsPropagate: an authoritative ENOENT from a healthy
+// node is the answer, not a reason to fail over.
+func TestRouterAppErrorsPropagate(t *testing.T) {
+	ds, task := fleetDataset(t), fleetTask(t)
+	a := startServeNode(t, "a", ds, task, 1)
+	lister := &memLister{}
+	lister.set(a.status(StateHealthy))
+	r := newTestRouter(t, lister)
+
+	if _, err := r.Open("/ghost-task/0/0/view"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("unknown task: %v, want vfs.ErrNotExist", err)
+	}
+	if st := r.Stats(); st.Failovers != 0 {
+		t.Fatalf("ENOENT caused failovers: %+v", st)
+	}
+}
+
+// TestRouterFingerprintMismatch: nodes serving a different configuration
+// hash are excluded from routing entirely.
+func TestRouterFingerprintMismatch(t *testing.T) {
+	ds, task := fleetDataset(t), fleetTask(t)
+	a := startServeNode(t, "a", ds, task, 1)
+	b := startServeNode(t, "b", ds, task, 1)
+	foreign := b.status(StateHealthy)
+	foreign.Info.Fingerprint = "deadbeef"
+	lister := &memLister{}
+	lister.set(a.status(StateHealthy), foreign)
+	r := newTestRouter(t, lister)
+
+	iters, err := a.svc.ItersInEpoch(task.Tag, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < iters; iter++ {
+		fd, err := r.Open(vfs.BatchPath(task.Tag, 0, iter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Close(fd)
+	}
+	st := r.Stats()
+	if st.OpensByNode["b"] != 0 {
+		t.Fatalf("foreign-fingerprint node served opens: %v", st.OpensByNode)
+	}
+	if st.Mismatched == 0 {
+		t.Fatal("mismatched counter not bumped")
+	}
+}
+
+// TestRendezvousStability: removing one node only remaps that node's
+// keys — every other key keeps its assignment (the property that makes
+// failover cheap).
+func TestRendezvousStability(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	pick := func(key string, members []string) string {
+		best, bestScore := "", 0.0
+		for _, n := range members {
+			if s := rendezvousScore(n, 1, key); best == "" || s > bestScore {
+				best, bestScore = n, s
+			}
+		}
+		return best
+	}
+	assigned := map[string]string{}
+	spread := map[string]int{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("/fleet/%d/%d/view", i/10, i%10)
+		assigned[key] = pick(key, nodes)
+		spread[assigned[key]]++
+	}
+	for _, n := range nodes {
+		if spread[n] == 0 {
+			t.Fatalf("node %s got no keys: %v", n, spread)
+		}
+	}
+	for key, owner := range assigned {
+		if owner == "c" {
+			continue
+		}
+		if got := pick(key, []string{"a", "b"}); got != owner {
+			t.Fatalf("key %s moved %s -> %s when c left", key, owner, got)
+		}
+	}
+}
+
+// TestRouterReaddir routes directory listings like opens.
+func TestRouterReaddir(t *testing.T) {
+	ds, task := fleetDataset(t), fleetTask(t)
+	a := startServeNode(t, "a", ds, task, 1)
+	lister := &memLister{}
+	lister.set(a.status(StateHealthy))
+	r := newTestRouter(t, lister)
+	names, err := r.Readdir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("empty root listing")
+	}
+}

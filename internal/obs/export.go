@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Wire export of gathered metrics. A fleet collector pulls every node's
+// registry as structured samples (not the lossy Prometheus text), so
+// histograms arrive with their full bucket vectors and merge exactly via
+// Histogram.Merge on the collector side. The format is plain JSON: small
+// (a few KB per node), debuggable with curl, and schema-stable because it
+// serializes the exported Sample/HistSnapshot types directly.
+
+// wireSample is the JSON shape of one Sample. Histogram bucket vectors
+// are encoded sparsely (index→count pairs) — most of the 1024 buckets of
+// a latency histogram are empty.
+type wireSample struct {
+	Name  string    `json:"name"`
+	Kind  string    `json:"kind"`
+	Value float64   `json:"value,omitempty"`
+	Hist  *wireHist `json:"hist,omitempty"`
+}
+
+type wireHist struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Min     int64   `json:"min"`
+	Max     int64   `json:"max"`
+	Buckets []int64 `json:"buckets"` // flat [index, count, index, count, ...]
+}
+
+// MarshalSamples encodes gathered samples for the wire.
+func MarshalSamples(samples []Sample) ([]byte, error) {
+	out := make([]wireSample, 0, len(samples))
+	for _, s := range samples {
+		ws := wireSample{Name: s.Name, Kind: s.Kind, Value: s.Value}
+		if s.Hist != nil {
+			wh := &wireHist{Count: s.Hist.Count, Sum: s.Hist.Sum, Min: s.Hist.Min, Max: s.Hist.Max}
+			for i, n := range s.Hist.Counts {
+				if n != 0 {
+					wh.Buckets = append(wh.Buckets, int64(i), n)
+				}
+			}
+			ws.Hist = wh
+		}
+		out = append(out, ws)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalSamples decodes a MarshalSamples payload.
+func UnmarshalSamples(data []byte) ([]Sample, error) {
+	var in []wireSample
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("obs: decode samples: %w", err)
+	}
+	out := make([]Sample, 0, len(in))
+	for _, ws := range in {
+		s := Sample{Name: ws.Name, Kind: ws.Kind, Value: ws.Value}
+		if ws.Hist != nil {
+			if len(ws.Hist.Buckets)%2 != 0 {
+				return nil, fmt.Errorf("obs: decode samples: odd bucket vector for %q", ws.Name)
+			}
+			hs := &HistSnapshot{Count: ws.Hist.Count, Sum: ws.Hist.Sum, Min: ws.Hist.Min, Max: ws.Hist.Max}
+			for i := 0; i < len(ws.Hist.Buckets); i += 2 {
+				idx := ws.Hist.Buckets[i]
+				if idx < 0 || idx >= histBuckets {
+					return nil, fmt.Errorf("obs: decode samples: bucket index %d out of range for %q", idx, ws.Name)
+				}
+				hs.Counts[idx] = ws.Hist.Buckets[i+1]
+			}
+			s.Hist = hs
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// WriteJSON renders the registry's gathered samples as the wire format
+// (the /metrics.json endpoint a fleet collector scrapes).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := MarshalSamples(r.Gather())
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// HistogramFromSnapshot reconstructs a live histogram holding exactly the
+// snapshot's observations, so remote snapshots re-enter the Merge
+// algebra: a collector rebuilds each node's histogram and folds them into
+// one fleet histogram with Histogram.Merge.
+func HistogramFromSnapshot(s *HistSnapshot) *Histogram {
+	h := NewHistogram()
+	if s == nil || s.Count == 0 {
+		return h
+	}
+	for i, n := range s.Counts {
+		if n != 0 {
+			h.counts[i].Store(n)
+		}
+	}
+	h.count.Store(s.Count)
+	h.sum.Store(s.Sum)
+	h.min.Store(s.Min)
+	h.max.Store(s.Max)
+	return h
+}
+
+// PromName sanitizes a dotted metric name into the exposed Prometheus
+// identifier (e.g. "viewserver.request_ns" → "sand_viewserver_request_ns").
+func PromName(name string) string { return promName(name) }

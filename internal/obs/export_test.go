@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExportRoundTrip: Gather → MarshalSamples → UnmarshalSamples must
+// preserve every sample, and HistogramFromSnapshot must re-enter the
+// Merge algebra with exact bucket counts — this is the contract the
+// fleet collector's cross-process histogram merging stands on.
+func TestExportRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("reqs").Add(42)
+	h := r.Histogram("req_ns")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000)
+	}
+	r.Gauge("depth", func() float64 { return 3.5 })
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSamples(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Gather()
+	if len(got) != len(want) {
+		t.Fatalf("round trip changed sample count: %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || got[i].Kind != want[i].Kind || got[i].Value != want[i].Value {
+			t.Fatalf("sample %d: %+v != %+v", i, got[i], want[i])
+		}
+		if (got[i].Hist == nil) != (want[i].Hist == nil) {
+			t.Fatalf("sample %d lost its histogram", i)
+		}
+		if got[i].Hist != nil && *got[i].Hist != *want[i].Hist {
+			t.Fatalf("sample %d histogram changed in transit", i)
+		}
+	}
+
+	// The restored histogram must behave identically under Merge.
+	var snap *HistSnapshot
+	for _, s := range got {
+		if s.Name == "req_ns" {
+			snap = s.Hist
+		}
+	}
+	restored := HistogramFromSnapshot(snap)
+	if restored.Count() != 1000 {
+		t.Fatalf("restored count = %d", restored.Count())
+	}
+	m := NewHistogram()
+	m.Merge(restored)
+	m.Merge(restored)
+	ms, hs := m.Snapshot(), h.Snapshot()
+	if ms.Count != 2*hs.Count || ms.Sum != 2*hs.Sum {
+		t.Fatalf("restored histogram broke Merge: %+v vs %+v", ms, hs)
+	}
+	if ms.Quantile(0.5) != hs.Quantile(0.5) {
+		t.Fatalf("doubling every bucket moved the median: %g vs %g", ms.Quantile(0.5), hs.Quantile(0.5))
+	}
+}
+
+func TestUnmarshalSamplesRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalSamples([]byte("[not json")); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+	// Bucket index out of range.
+	bad := []byte(`[{"name":"x_ns","kind":"histogram","hist":{"count":1,"sum":1,"min":1,"max":1,"buckets":[99999,1]}}]`)
+	if _, err := UnmarshalSamples(bad); err == nil {
+		t.Fatal("accepted out-of-range bucket index")
+	}
+	// Odd-length bucket vector.
+	odd := []byte(`[{"name":"x_ns","kind":"histogram","hist":{"count":1,"sum":1,"min":1,"max":1,"buckets":[3]}}]`)
+	if _, err := UnmarshalSamples(odd); err == nil {
+		t.Fatal("accepted odd-length bucket vector")
+	}
+}

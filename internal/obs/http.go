@@ -9,6 +9,8 @@ import (
 // Handler returns an http.Handler exposing the registry:
 //
 //	/metrics            Prometheus text exposition
+//	/metrics.json       structured samples (full histogram buckets) for
+//	                    fleet collectors
 //	/debug/trace        Chrome trace_event JSON of the buffered events
 //	/debug/trace/start  enable tracing (any method)
 //	/debug/trace/stop   disable tracing; events stay exportable
@@ -18,6 +20,10 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -36,7 +42,7 @@ func (r *Registry) Handler() http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "sand observability\n  /metrics\n  /debug/trace\n  /debug/trace/start\n  /debug/trace/stop\n")
+		fmt.Fprint(w, "sand observability\n  /metrics\n  /metrics.json\n  /debug/trace\n  /debug/trace/start\n  /debug/trace/stop\n")
 	})
 	return mux
 }

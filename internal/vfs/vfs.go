@@ -36,6 +36,9 @@ var (
 	ErrNoXattr = errors.New("vfs: no such attribute")
 	// ErrInvalidPath corresponds to EINVAL.
 	ErrInvalidPath = errors.New("vfs: invalid view path")
+	// ErrUnavailable corresponds to EAGAIN: no backend can serve the view
+	// right now (e.g. a fleet router found no live node). Retryable.
+	ErrUnavailable = errors.New("vfs: no backend available")
 )
 
 // PathKind classifies a parsed view path.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"time"
 
@@ -11,6 +12,19 @@ import (
 
 	"sand/internal/vfs"
 )
+
+// backoffDelay computes the attempt-th (1-based) reconnect delay:
+// exponential growth from base, spread across [1-jitter, 1+jitter) by u
+// (a uniform [0,1) variate) so a fleet of clients that lost the same
+// server desynchronizes instead of redialing in lockstep.
+func backoffDelay(base time.Duration, attempt int, jitter, u float64) time.Duration {
+	d := base << (attempt - 1)
+	if jitter <= 0 {
+		return d
+	}
+	scale := 1 - jitter + 2*jitter*u
+	return time.Duration(float64(d) * scale)
+}
 
 // ClientOptions tunes a Client.
 type ClientOptions struct {
@@ -25,6 +39,11 @@ type ClientOptions struct {
 	// BackoffBase is the first retry delay, doubling per attempt
 	// (default 50ms).
 	BackoffBase time.Duration
+	// BackoffJitter randomizes each retry delay to delay*[1-j, 1+j), so
+	// a restarted server is not hit by a synchronized thundering herd of
+	// redials from clients that all lost their connection at the same
+	// instant. 0 uses the default 0.5; negative disables jitter.
+	BackoffJitter float64
 	// MaxMessage bounds response frames (default DefaultMaxMessage;
 	// must be >= the server's read chunk limit to stream large views).
 	MaxMessage int
@@ -45,6 +64,15 @@ func (o *ClientOptions) normalize() {
 	}
 	if o.BackoffBase <= 0 {
 		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffJitter == 0 {
+		o.BackoffJitter = 0.5
+	}
+	if o.BackoffJitter < 0 {
+		o.BackoffJitter = 0
+	}
+	if o.BackoffJitter > 1 {
+		o.BackoffJitter = 1
 	}
 	if o.MaxMessage <= 0 {
 		o.MaxMessage = DefaultMaxMessage
@@ -120,7 +148,7 @@ func (c *Client) ensureConnLocked() error {
 	var lastErr error
 	for attempt := 0; attempt < c.opts.DialRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.opts.BackoffBase << (attempt - 1))
+			time.Sleep(backoffDelay(c.opts.BackoffBase, attempt, c.opts.BackoffJitter, rand.Float64()))
 		}
 		conn, err := net.DialTimeout(c.network, c.addr, c.opts.DialTimeout)
 		if err != nil {

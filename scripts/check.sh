@@ -36,4 +36,7 @@ go run ./examples/remote -store-shards 8 -mem-budget-mb 1 >/dev/null
 echo "== trace smoke"
 ./scripts/trace_smoke.sh
 
+echo "== fleet smoke (3 nodes, drain + kill mid-epoch)"
+./scripts/fleet_smoke.sh
+
 echo "check: all green"

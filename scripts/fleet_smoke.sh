@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Fleet smoke test: boot a 3-node fleet on loopback through the HTTP
+# registry, drain one node mid-epoch, and assert (a) the epoch
+# completes byte-for-byte against the single-node baseline and (b) the
+# merged /metrics exposition carries every node's own label. The
+# distributed example already exits non-zero on any of those failures;
+# this script re-asserts the observable output so a silent regression
+# in the example's own checks still fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== 3-node fleet, drain one mid-epoch"
+go run ./examples/distributed -nodes 3 -fail drain | tee "$tmp/out.txt"
+
+grep -q 'OK: epoch completed byte-for-byte through the failure' "$tmp/out.txt" ||
+  { echo "fleet_smoke: epoch did not complete"; exit 1; }
+for node in node0 node1 node2; do
+  grep -q "fleet /metrics carries node=\"$node\" series" "$tmp/out.txt" ||
+    { echo "fleet_smoke: /metrics lost $node"; exit 1; }
+done
+grep -q 'healthy -> draining' "$tmp/out.txt" ||
+  { echo "fleet_smoke: registry never recorded the drain"; exit 1; }
+
+echo "== 3-node fleet, kill one mid-epoch (failover path)"
+go run ./examples/distributed -nodes 3 -fail kill >"$tmp/kill.txt"
+grep -q 'OK: epoch completed byte-for-byte through the failure' "$tmp/kill.txt" ||
+  { echo "fleet_smoke: epoch did not survive the kill"; exit 1; }
+grep -q 'suspect -> dead' "$tmp/kill.txt" ||
+  { echo "fleet_smoke: killed node never aged to dead"; exit 1; }
+
+echo "fleet_smoke: ok"
