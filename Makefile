@@ -27,6 +27,12 @@ bench-storage:
 bench-dataplane:
 	./scripts/bench_dataplane.sh $(BENCHTIME)
 
+# Overlap-aware reuse benchmark: writes BENCH_reuse.json (superset-crop
+# reuse on vs off over four overlapping views; fails under 1.5x).
+# BENCHTIME=500x make bench-reuse for more laps.
+bench-reuse:
+	./scripts/bench_reuse.sh $(BENCHTIME)
+
 # One traced quickstart run, validated (see OBSERVABILITY.md).
 trace-smoke:
 	./scripts/trace_smoke.sh
@@ -36,4 +42,4 @@ trace-smoke:
 fleet-smoke:
 	./scripts/fleet_smoke.sh
 
-.PHONY: check test fuzz bench bench-storage bench-dataplane trace-smoke fleet-smoke
+.PHONY: check test fuzz bench bench-storage bench-dataplane bench-reuse trace-smoke fleet-smoke

@@ -43,6 +43,49 @@ type Op interface {
 	Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error)
 }
 
+// RegionOp is implemented by crop-family ops that read exactly one fixed
+// source rectangle per frame. The engine's overlap-aware reuse layer uses
+// it to compare crop windows across a sample's chains and materialize one
+// bounding-superset region instead of re-running the shared prefix per
+// chain.
+type RegionOp interface {
+	Op
+	// Region returns the source rectangle the op reads from a srcW x srcH
+	// frame. ok is false when the rectangle depends on randomness that has
+	// not been resolved yet (e.g. RandomCrop before plan-time lowering).
+	Region(srcW, srcH int) (x, y, w, h int, ok bool)
+}
+
+// InPlacer is implemented by ops that can transform a clip by mutating its
+// frames directly, eliminating the output allocation and copy of Apply.
+// Callers may only use it on clips they own exclusively (no frame is
+// shared with a cache or another clip).
+//
+// Contract: ApplyInPlace must draw exactly the same values from rng as
+// Apply would, so a pipeline mixing the two paths keeps its random stream
+// aligned. An implementation that returns done=false must do so before
+// consuming any randomness or mutating any frame; the caller then falls
+// back to Apply.
+type InPlacer interface {
+	Op
+	ApplyInPlace(clip *frame.Clip, rng *rand.Rand) (done bool, err error)
+}
+
+// windowed is implemented by crop-family ops whose whole effect is
+// selecting one rectangle of their input. Pipeline.Apply fuses a
+// bilinear Resize immediately followed by a windowed op into one kernel
+// that computes only the selected window of the resize output.
+//
+// Contract: window must draw exactly the same values from rng as Apply
+// would for the same geometry, and must return ok=false — before
+// consuming any randomness — in every case where Apply would fail or
+// need geometry the caller cannot guarantee; the caller then falls back
+// to the unfused path, which reproduces Apply's error and rng behavior.
+type windowed interface {
+	Op
+	window(srcW, srcH int, rng *rand.Rand) (x, y, w, h int, ok bool)
+}
+
 // Pipeline applies a sequence of ops in order.
 type Pipeline []Op
 
@@ -71,7 +114,51 @@ func (p Pipeline) Deterministic() bool {
 // new output, as identity stages do).
 func (p Pipeline) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
 	cur := clip
-	for i, op := range p {
+	for i := 0; i < len(p); i++ {
+		op := p[i]
+		// Fusion fast path: a bilinear resize immediately followed by a
+		// crop-family stage computes only the crop window of the resize
+		// output (resizeBilinearWindow), skipping the pixels the crop
+		// would discard and the copy the crop would perform. The result
+		// is byte-identical — same tap tables, same fixed-point math, on
+		// a subset of output coordinates — and the random stream stays
+		// aligned because resize consumes no randomness and window()
+		// mirrors the crop op's draws exactly.
+		if rz, isRz := op.(*Resize); isRz && i+1 < len(p) &&
+			rz.W > 0 && rz.H > 0 &&
+			(rz.Interpolation == "" || rz.Interpolation == "bilinear") {
+			if win, isWin := p[i+1].(windowed); isWin {
+				if wx, wy, ww, wh, ok := win.window(rz.W, rz.H, rng); ok {
+					srcW, srcH, _ := cur.Geometry()
+					bm := newBilinearMap(srcW, srcH, rz.W, rz.H)
+					next, err := mapFrames(cur, func(f *frame.Frame) (*frame.Frame, error) {
+						return resizeBilinearWindow(f, bm, wx, wy, ww, wh), nil
+					})
+					if err != nil {
+						return nil, fmt.Errorf("augment: stage %d (%s): %w", i, op.Name(), err)
+					}
+					if cur != clip && cur != next {
+						recycleClip(cur, next, clip)
+					}
+					cur = next
+					i++ // the crop stage is folded into this one
+					continue
+				}
+			}
+		}
+		// In-place fast path: once an earlier stage has produced a fresh
+		// clip (one sharing no frame with the input — identity stages and
+		// inv_sample alias input frames), later InPlacer stages mutate it
+		// directly instead of allocating and copying a successor.
+		if ip, ok := op.(InPlacer); ok && cur != clip && !sharesFrames(cur, clip) {
+			done, err := ip.ApplyInPlace(cur, rng)
+			if err != nil {
+				return nil, fmt.Errorf("augment: stage %d (%s): %w", i, op.Name(), err)
+			}
+			if done {
+				continue
+			}
+		}
 		next, err := op.Apply(cur, rng)
 		if err != nil {
 			return nil, fmt.Errorf("augment: stage %d (%s): %w", i, op.Name(), err)
@@ -82,6 +169,18 @@ func (p Pipeline) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
 		cur = next
 	}
 	return cur, nil
+}
+
+// sharesFrames reports whether any frame pointer appears in both clips.
+func sharesFrames(a, b *frame.Clip) bool {
+	for _, f := range a.Frames {
+		for _, g := range b.Frames {
+			if f == g {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // recycleClip returns dead's frame buffers to the pool, skipping any frame
@@ -152,11 +251,17 @@ func (r *Resize) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
 	default:
 		return nil, fmt.Errorf("resize: unknown interpolation %q", r.Interpolation)
 	}
-	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
-		if r.Interpolation == "nearest" {
+	if r.Interpolation == "nearest" {
+		return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
 			return resizeNearest(f, r.W, r.H), nil
-		}
-		return resizeBilinear(f, r.W, r.H), nil
+		})
+	}
+	// Clip frames share one geometry, so the bilinear tap tables are
+	// computed once and reused across every row, channel and frame.
+	srcW, srcH, _ := clip.Geometry()
+	bm := newBilinearMap(srcW, srcH, r.W, r.H)
+	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
+		return resizeBilinear(f, bm), nil
 	})
 }
 
@@ -176,51 +281,103 @@ func resizeNearest(f *frame.Frame, w, h int) *frame.Frame {
 	return out
 }
 
-func resizeBilinear(f *frame.Frame, w, h int) *frame.Frame {
-	out := frame.NewPooled(w, h, f.C)
-	// Fixed-point 16.16 source steps with half-pixel centers.
+// bilinearMap holds precomputed 16.16 fixed-point bilinear taps for one
+// source->destination geometry: for each output coordinate, the two source
+// taps and the fractional weight of the second. The arithmetic matches the
+// historical per-pixel computation bit-for-bit; only the redundant
+// per-pixel coordinate math (multiply, shift, clamp) is hoisted out of the
+// inner loop.
+type bilinearMap struct {
+	srcW, srcH, w, h int
+	x0, x1, xf       []int32
+	y0, y1, yf       []int32
+}
+
+// bilinearAxis computes taps for one axis with half-pixel centers.
+func bilinearAxis(srcN, dstN int) (i0, i1, fr []int32) {
 	const fpShift = 16
 	const fpOne = 1 << fpShift
-	xStep := (f.W << fpShift) / w
-	yStep := (f.H << fpShift) / h
+	step := (srcN << fpShift) / dstN
+	i0 = make([]int32, dstN)
+	i1 = make([]int32, dstN)
+	fr = make([]int32, dstN)
+	for x := 0; x < dstN; x++ {
+		sFP := x*step + step/2 - fpOne/2
+		if sFP < 0 {
+			sFP = 0
+		}
+		s := sFP >> fpShift
+		f := sFP & (fpOne - 1)
+		s1 := s + 1
+		if s1 >= srcN {
+			s1 = srcN - 1
+		}
+		i0[x], i1[x], fr[x] = int32(s), int32(s1), int32(f)
+	}
+	return
+}
+
+func newBilinearMap(srcW, srcH, w, h int) *bilinearMap {
+	m := &bilinearMap{srcW: srcW, srcH: srcH, w: w, h: h}
+	m.x0, m.x1, m.xf = bilinearAxis(srcW, w)
+	m.y0, m.y1, m.yf = bilinearAxis(srcH, h)
+	return m
+}
+
+// resizeBilinearWindow computes only the [wx,wx+ww) x [wy,wy+wh) window
+// of the resize described by m — the fused resize+crop kernel. The
+// per-pixel arithmetic is identical to resizeBilinear's, so the output
+// is byte-for-byte the crop of the full resize.
+func resizeBilinearWindow(f *frame.Frame, m *bilinearMap, wx, wy, ww, wh int) *frame.Frame {
+	const fpShift = 16
+	out := frame.NewPooled(ww, wh, f.C)
+	for c := 0; c < f.C; c++ {
+		src := f.Plane(c)
+		dst := out.Plane(c)
+		for y := 0; y < wh; y++ {
+			sy := wy + y
+			rowT := src[int(m.y0[sy])*f.W : int(m.y0[sy])*f.W+f.W]
+			rowB := src[int(m.y1[sy])*f.W : int(m.y1[sy])*f.W+f.W]
+			fy := int(m.yf[sy])
+			orow := dst[y*ww : (y+1)*ww]
+			for x := 0; x < ww; x++ {
+				sx, sx1, fx := int(m.x0[wx+x]), int(m.x1[wx+x]), int(m.xf[wx+x])
+				p00 := int(rowT[sx])
+				p01 := int(rowT[sx1])
+				p10 := int(rowB[sx])
+				p11 := int(rowB[sx1])
+				top := p00<<fpShift + (p01-p00)*fx
+				bot := p10<<fpShift + (p11-p10)*fx
+				orow[x] = byte((top<<fpShift + (bot-top)*fy) >> (2 * fpShift))
+			}
+		}
+	}
+	return out
+}
+
+func resizeBilinear(f *frame.Frame, m *bilinearMap) *frame.Frame {
+	const fpShift = 16
+	w, h := m.w, m.h
+	out := frame.NewPooled(w, h, f.C)
 	for c := 0; c < f.C; c++ {
 		src := f.Plane(c)
 		dst := out.Plane(c)
 		for y := 0; y < h; y++ {
-			syFP := y*yStep + yStep/2 - fpOne/2
-			if syFP < 0 {
-				syFP = 0
-			}
-			sy := syFP >> fpShift
-			fy := syFP & (fpOne - 1)
-			sy1 := sy + 1
-			if sy1 >= f.H {
-				sy1 = f.H - 1
-			}
+			rowT := src[int(m.y0[y])*f.W : int(m.y0[y])*f.W+f.W]
+			rowB := src[int(m.y1[y])*f.W : int(m.y1[y])*f.W+f.W]
+			fy := int(m.yf[y])
+			orow := dst[y*w : (y+1)*w]
 			for x := 0; x < w; x++ {
-				sxFP := x*xStep + xStep/2 - fpOne/2
-				if sxFP < 0 {
-					sxFP = 0
-				}
-				sx := sxFP >> fpShift
-				fx := sxFP & (fpOne - 1)
-				sx1 := sx + 1
-				if sx1 >= f.W {
-					sx1 = f.W - 1
-				}
-				p00 := int(src[sy*f.W+sx])
-				p01 := int(src[sy*f.W+sx1])
-				p10 := int(src[sy1*f.W+sx])
-				p11 := int(src[sy1*f.W+sx1])
+				sx, sx1, fx := int(m.x0[x]), int(m.x1[x]), int(m.xf[x])
+				p00 := int(rowT[sx])
+				p01 := int(rowT[sx1])
+				p10 := int(rowB[sx])
+				p11 := int(rowB[sx1])
 				top := p00<<fpShift + (p01-p00)*fx
 				bot := p10<<fpShift + (p11-p10)*fx
-				v := (top<<fpShift + (bot-top)*fy) >> (2 * fpShift)
-				if v < 0 {
-					v = 0
-				} else if v > 255 {
-					v = 255
-				}
-				dst[y*w+x] = byte(v)
+				// Convex combination of samples in [0,255] with weights in
+				// [0,1): the result cannot leave [0,255], so no clamp.
+				orow[x] = byte((top<<fpShift + (bot-top)*fy) >> (2 * fpShift))
 			}
 		}
 	}
@@ -248,6 +405,30 @@ func (c *Crop) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
 	})
 }
 
+// Region implements RegionOp: a fixed crop reads the same rectangle
+// regardless of source geometry.
+func (c *Crop) Region(srcW, srcH int) (int, int, int, int, bool) {
+	return c.X, c.Y, c.W, c.H, true
+}
+
+// window implements windowed: the fixed rectangle, ok only when it lies
+// inside the source (otherwise Apply's SubRect error must surface via
+// the unfused path).
+func (c *Crop) window(srcW, srcH int, _ *rand.Rand) (int, int, int, int, bool) {
+	ok := c.X >= 0 && c.Y >= 0 && c.W > 0 && c.H > 0 && c.X+c.W <= srcW && c.Y+c.H <= srcH
+	return c.X, c.Y, c.W, c.H, ok
+}
+
+// ApplyInPlace implements InPlacer via frame compaction.
+func (c *Crop) ApplyInPlace(clip *frame.Clip, _ *rand.Rand) (bool, error) {
+	for _, f := range clip.Frames {
+		if err := f.CropInPlace(c.X, c.Y, c.W, c.H); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
 // CenterCrop extracts a centered W x H rectangle.
 type CenterCrop struct {
 	W, H int
@@ -267,6 +448,30 @@ func (c *CenterCrop) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) 
 	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
 		return f.SubRect((f.W-c.W)/2, (f.H-c.H)/2, c.W, c.H)
 	})
+}
+
+// Region implements RegionOp: the rectangle is determined by source
+// geometry alone.
+func (c *CenterCrop) Region(srcW, srcH int) (int, int, int, int, bool) {
+	return (srcW - c.W) / 2, (srcH - c.H) / 2, c.W, c.H, true
+}
+
+// window implements windowed: the centered rectangle, ok only when it
+// lies inside the source.
+func (c *CenterCrop) window(srcW, srcH int, _ *rand.Rand) (int, int, int, int, bool) {
+	x, y := (srcW-c.W)/2, (srcH-c.H)/2
+	ok := x >= 0 && y >= 0 && c.W > 0 && c.H > 0 && x+c.W <= srcW && y+c.H <= srcH
+	return x, y, c.W, c.H, ok
+}
+
+// ApplyInPlace implements InPlacer via frame compaction.
+func (c *CenterCrop) ApplyInPlace(clip *frame.Clip, _ *rand.Rand) (bool, error) {
+	for _, f := range clip.Frames {
+		if err := f.CropInPlace((f.W-c.W)/2, (f.H-c.H)/2, c.W, c.H); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
 }
 
 // RandomCrop samples one crop origin per clip (all frames share it, as VDL
@@ -297,6 +502,45 @@ func (c *RandomCrop) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error
 	y := rng.Intn(h - c.H + 1)
 	fixed := &Crop{X: x, Y: y, W: c.W, H: c.H}
 	return fixed.Apply(clip, nil)
+}
+
+// Region implements RegionOp: the window is random, so it cannot be
+// compared until plan-time lowering fixes it (ok=false).
+func (c *RandomCrop) Region(srcW, srcH int) (int, int, int, int, bool) {
+	return 0, 0, 0, 0, false
+}
+
+// window implements windowed. The error preconditions (nil rng,
+// oversized crop) are checked before any draw, so a fallback to Apply
+// reproduces the same failure with the random stream untouched; on
+// success the origin is drawn in exactly Apply's order (x then y).
+func (c *RandomCrop) window(srcW, srcH int, rng *rand.Rand) (int, int, int, int, bool) {
+	if rng == nil || c.W <= 0 || c.H <= 0 || c.W > srcW || c.H > srcH {
+		return 0, 0, 0, 0, false
+	}
+	x := rng.Intn(srcW - c.W + 1)
+	y := rng.Intn(srcH - c.H + 1)
+	return x, y, c.W, c.H, true
+}
+
+// ApplyInPlace implements InPlacer, drawing the origin exactly like Apply
+// before compacting frames.
+func (c *RandomCrop) ApplyInPlace(clip *frame.Clip, rng *rand.Rand) (bool, error) {
+	if rng == nil {
+		return true, fmt.Errorf("random_crop: nil rng")
+	}
+	w, h, _ := clip.Geometry()
+	if c.W > w || c.H > h {
+		return true, fmt.Errorf("random_crop: %dx%d exceeds frame %dx%d", c.W, c.H, w, h)
+	}
+	x := rng.Intn(w - c.W + 1)
+	y := rng.Intn(h - c.H + 1)
+	for _, f := range clip.Frames {
+		if err := f.CropInPlace(x, y, c.W, c.H); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
 }
 
 // HFlip mirrors frames horizontally, either always (Prob >= 1) or with the
@@ -341,6 +585,33 @@ func (h *HFlip) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
 	})
 }
 
+// ApplyInPlace implements InPlacer: rows are mirrored by swapping ends.
+// The stochastic draw matches Apply exactly.
+func (h *HFlip) ApplyInPlace(clip *frame.Clip, rng *rand.Rand) (bool, error) {
+	do := h.Prob >= 1
+	if !h.Deterministic() {
+		if rng == nil {
+			return true, fmt.Errorf("hflip: nil rng for stochastic flip")
+		}
+		do = rng.Float64() < h.Prob
+	}
+	if !do {
+		return true, nil
+	}
+	for _, f := range clip.Frames {
+		for c := 0; c < f.C; c++ {
+			plane := f.Plane(c)
+			for y := 0; y < f.H; y++ {
+				row := plane[y*f.W : (y+1)*f.W]
+				for i, j := 0, f.W-1; i < j; i, j = i+1, j-1 {
+					row[i], row[j] = row[j], row[i]
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
 // VFlip mirrors frames vertically with probability Prob.
 type VFlip struct {
 	Prob float64
@@ -378,6 +649,39 @@ func (v *VFlip) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, error) {
 		}
 		return g, nil
 	})
+}
+
+// ApplyInPlace implements InPlacer: rows are mirrored by swapping pairs
+// through a stack scratch row. The stochastic draw matches Apply exactly.
+func (v *VFlip) ApplyInPlace(clip *frame.Clip, rng *rand.Rand) (bool, error) {
+	do := v.Prob >= 1
+	if !v.Deterministic() {
+		if rng == nil {
+			return true, fmt.Errorf("vflip: nil rng for stochastic flip")
+		}
+		do = rng.Float64() < v.Prob
+	}
+	if !do {
+		return true, nil
+	}
+	var tmp []byte
+	for _, f := range clip.Frames {
+		if len(tmp) < f.W {
+			tmp = make([]byte, f.W)
+		}
+		row := tmp[:f.W]
+		for c := 0; c < f.C; c++ {
+			plane := f.Plane(c)
+			for top, bot := 0, f.H-1; top < bot; top, bot = top+1, bot-1 {
+				a := plane[top*f.W : (top+1)*f.W]
+				b := plane[bot*f.W : (bot+1)*f.W]
+				copy(row, a)
+				copy(a, b)
+				copy(b, row)
+			}
+		}
+	}
+	return true, nil
 }
 
 // Rotate90 rotates every frame by Turns quarter-turns clockwise.
@@ -457,6 +761,39 @@ func (j *ColorJitter) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, erro
 	}
 	bright := 1 + (rng.Float64()*2-1)*j.Brightness
 	contrast := 1 + (rng.Float64()*2-1)*j.Contrast
+	lut := jitterLUT(bright, contrast)
+	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
+		g := frame.NewPooled(f.W, f.H, f.C)
+		for i, v := range f.Pix {
+			g.Pix[i] = lut[v]
+		}
+		return g, nil
+	})
+}
+
+// ApplyInPlace implements InPlacer: the LUT is applied to the frames'
+// own buffers. The two stochastic draws match Apply exactly.
+func (j *ColorJitter) ApplyInPlace(clip *frame.Clip, rng *rand.Rand) (bool, error) {
+	if j.Deterministic() {
+		return true, nil
+	}
+	if rng == nil {
+		return true, fmt.Errorf("color_jitter: nil rng")
+	}
+	bright := 1 + (rng.Float64()*2-1)*j.Brightness
+	contrast := 1 + (rng.Float64()*2-1)*j.Contrast
+	lut := jitterLUT(bright, contrast)
+	for _, f := range clip.Frames {
+		for i, v := range f.Pix {
+			f.Pix[i] = lut[v]
+		}
+	}
+	return true, nil
+}
+
+// jitterLUT builds the 256-entry brightness/contrast lookup table shared
+// by ColorJitter's two execution paths.
+func jitterLUT(bright, contrast float64) []byte {
 	lut := make([]byte, 256)
 	for i := range lut {
 		v := (float64(i)-128)*contrast + 128
@@ -468,13 +805,7 @@ func (j *ColorJitter) Apply(clip *frame.Clip, rng *rand.Rand) (*frame.Clip, erro
 		}
 		lut[i] = byte(v)
 	}
-	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
-		g := frame.NewPooled(f.W, f.H, f.C)
-		for i, v := range f.Pix {
-			g.Pix[i] = lut[v]
-		}
-		return g, nil
-	})
+	return lut
 }
 
 // Grayscale averages channels into a single-channel clip.
@@ -525,26 +856,49 @@ func (n *Normalize) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
 	return mapFrames(clip, func(f *frame.Frame) (*frame.Frame, error) {
 		g := frame.NewPooled(f.W, f.H, f.C)
 		for c := 0; c < f.C; c++ {
-			src := f.Plane(c)
-			dst := g.Plane(c)
-			var sum int64
-			for _, v := range src {
-				sum += int64(v)
-			}
-			mean := int(sum / int64(len(src)))
-			shift := n.Mean - mean
-			for i, v := range src {
-				w := int(v) + shift
-				if w < 0 {
-					w = 0
-				} else if w > 255 {
-					w = 255
-				}
-				dst[i] = byte(w)
-			}
+			normalizePlane(g.Plane(c), f.Plane(c), n.Mean)
 		}
 		return g, nil
 	})
+}
+
+// ApplyInPlace implements InPlacer: each plane's mean is computed before
+// any sample of that plane is overwritten, so the result is identical to
+// Apply.
+func (n *Normalize) ApplyInPlace(clip *frame.Clip, _ *rand.Rand) (bool, error) {
+	for _, f := range clip.Frames {
+		for c := 0; c < f.C; c++ {
+			p := f.Plane(c)
+			normalizePlane(p, p, n.Mean)
+		}
+	}
+	return true, nil
+}
+
+// normalizePlane recenters src's samples to the target mean, writing into
+// dst. dst may alias src: the mean is fully computed before writes start.
+func normalizePlane(dst, src []byte, target int) {
+	var sum int64
+	for _, v := range src {
+		sum += int64(v)
+	}
+	mean := int(sum / int64(len(src)))
+	shift := target - mean
+	// One clamp table per plane replaces the per-sample branch pair; 256
+	// entries amortize over the plane in a branch-free inner loop.
+	var lut [256]byte
+	for i := range lut {
+		w := i + shift
+		if w < 0 {
+			w = 0
+		} else if w > 255 {
+			w = 255
+		}
+		lut[i] = byte(w)
+	}
+	for i, v := range src {
+		dst[i] = lut[v]
+	}
 }
 
 // InvSample reverses the temporal order of the clip — the "inv_sample"

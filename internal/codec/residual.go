@@ -1,0 +1,123 @@
+package codec
+
+// Residual-magnitude summaries. A P-frame's payload is the per-sample
+// difference to its reference frame (mod 256), which the decoder already
+// inflates into its scratch buffer before reconstruction. Summarizing
+// that buffer per tile is nearly free — one pass over bytes the decoder
+// just touched — and tells the engine which regions of the video are
+// (almost) static between frames. The materialization layer uses the
+// summaries to gate augmentation work: a frame whose accumulated residual
+// magnitude stays below a threshold can reuse its predecessor's augmented
+// output instead of recomputing the chain.
+
+// ResidualTile is the square tile edge (in pixels) residual summaries
+// aggregate over.
+const ResidualTile = 16
+
+// residualMag maps a mod-256 residual byte to the magnitude of its
+// minimal signed representative: min(v, 256-v). Small pixel deltas encode
+// as bytes near 0 or 255; both map to small magnitudes.
+var residualMag [256]uint8
+
+func init() {
+	for v := 1; v < 256; v++ {
+		m := v
+		if m > 128 {
+			m = 256 - m
+		}
+		residualMag[v] = uint8(m)
+	}
+}
+
+// ResidualSummary aggregates one frame's prediction residual into per-tile
+// magnitude sums. Tiles are ResidualTile x ResidualTile pixels (edge tiles
+// may be smaller) and accumulate across all channels.
+type ResidualSummary struct {
+	// W, H, C is the frame geometry the summary covers.
+	W, H, C int
+	// TilesX, TilesY is the tile-grid shape.
+	TilesX, TilesY int
+	// SumAbs[ty*TilesX+tx] is the summed residual magnitude of the tile
+	// across every channel.
+	SumAbs []uint32
+	// Index is the source frame index the summary describes.
+	Index int
+	// IFrame marks keyframes: their "residual" is a spatial predictor, not
+	// a temporal delta, so the summary carries no motion information and
+	// consumers must treat the frame as fully dynamic.
+	IFrame bool
+}
+
+// summarizeResidual builds a summary from an inflated residual buffer
+// (len w*h*c, plane-major).
+func summarizeResidual(residual []byte, w, h, c, index int) *ResidualSummary {
+	tx := (w + ResidualTile - 1) / ResidualTile
+	ty := (h + ResidualTile - 1) / ResidualTile
+	s := &ResidualSummary{
+		W: w, H: h, C: c, TilesX: tx, TilesY: ty,
+		SumAbs: make([]uint32, tx*ty),
+		Index:  index,
+	}
+	for ch := 0; ch < c; ch++ {
+		plane := residual[ch*w*h : (ch+1)*w*h]
+		for y := 0; y < h; y++ {
+			row := plane[y*w : (y+1)*w]
+			trow := s.SumAbs[(y/ResidualTile)*tx : (y/ResidualTile)*tx+tx]
+			for x, v := range row {
+				trow[x/ResidualTile] += uint32(residualMag[v])
+			}
+		}
+	}
+	return s
+}
+
+// tileArea returns the pixel count of tile (tx, ty), accounting for
+// clipped edge tiles.
+func (s *ResidualSummary) tileArea(tx, ty int) int {
+	w := ResidualTile
+	if (tx+1)*ResidualTile > s.W {
+		w = s.W - tx*ResidualTile
+	}
+	h := ResidualTile
+	if (ty+1)*ResidualTile > s.H {
+		h = s.H - ty*ResidualTile
+	}
+	return w * h
+}
+
+// MeanAbs returns tile (tx, ty)'s mean residual magnitude per sample
+// (pixel x channel).
+func (s *ResidualSummary) MeanAbs(tx, ty int) float64 {
+	return float64(s.SumAbs[ty*s.TilesX+tx]) / float64(s.tileArea(tx, ty)*s.C)
+}
+
+// MaxMean returns the largest per-tile mean magnitude — the summary's
+// "most dynamic tile" statistic.
+func (s *ResidualSummary) MaxMean() float64 {
+	var max float64
+	for ty := 0; ty < s.TilesY; ty++ {
+		for tx := 0; tx < s.TilesX; tx++ {
+			if m := s.MeanAbs(tx, ty); m > max {
+				max = m
+			}
+		}
+	}
+	return max
+}
+
+// StaticFrac returns the fraction of tiles whose mean magnitude is below
+// thresh.
+func (s *ResidualSummary) StaticFrac(thresh float64) float64 {
+	if len(s.SumAbs) == 0 {
+		return 0
+	}
+	static := 0
+	for ty := 0; ty < s.TilesY; ty++ {
+		for tx := 0; tx < s.TilesX; tx++ {
+			if s.MeanAbs(tx, ty) < thresh {
+				static++
+			}
+		}
+	}
+	return float64(static) / float64(len(s.SumAbs))
+}

@@ -1,0 +1,153 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+
+	"sand/internal/frame"
+)
+
+// encodeClip is a test helper: encode n frames produced by gen(i).
+func encodeClip(t *testing.T, n, gop int, gen func(i int) *frame.Frame) *Video {
+	t.Helper()
+	frames := make([]*frame.Frame, n)
+	for i := range frames {
+		frames[i] = gen(i)
+	}
+	clip, err := frame.NewClip(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Encode(clip, EncodeParams{GOP: gop, FPS: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestResidualSummaryStaticVideo: a perfectly static video yields zero
+// residual magnitude on every P-frame tile, and I-frames are flagged.
+func TestResidualSummaryStaticVideo(t *testing.T) {
+	base := frame.New(40, 24, 3)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(base.Pix)
+	v := encodeClip(t, 8, 4, func(i int) *frame.Frame {
+		g := base.Clone()
+		g.Index = i
+		return g
+	})
+	d := NewDecoder(v, nil)
+	defer d.Close()
+	d.CollectResiduals(true)
+	for i := 0; i < 8; i++ {
+		if _, err := d.Frame(i); err != nil {
+			t.Fatal(err)
+		}
+		r := d.TakeResidual()
+		if r == nil {
+			t.Fatalf("frame %d: no residual summary", i)
+		}
+		if r.Index != i {
+			t.Fatalf("frame %d: summary index %d", i, r.Index)
+		}
+		if i%4 == 0 {
+			if !r.IFrame {
+				t.Fatalf("frame %d should be summarized as I-frame", i)
+			}
+			continue
+		}
+		if r.IFrame {
+			t.Fatalf("frame %d wrongly flagged I-frame", i)
+		}
+		if got := r.MaxMean(); got != 0 {
+			t.Fatalf("static video frame %d: MaxMean %v, want 0", i, got)
+		}
+		if got := r.StaticFrac(0.5); got != 1 {
+			t.Fatalf("static video frame %d: StaticFrac %v, want 1", i, got)
+		}
+	}
+	if r := d.TakeResidual(); r != nil {
+		t.Fatal("TakeResidual did not clear the pending summary")
+	}
+}
+
+// TestResidualSummaryLocalizedMotion: motion confined to one corner tile
+// must light up that tile and leave the rest static.
+func TestResidualSummaryLocalizedMotion(t *testing.T) {
+	v := encodeClip(t, 2, 8, func(i int) *frame.Frame {
+		g := frame.New(64, 48, 1)
+		g.Index = i
+		if i == 1 {
+			// Perturb a block inside tile (0,0) only.
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					g.Set(x, y, 0, 200)
+				}
+			}
+		}
+		return g
+	})
+	d := NewDecoder(v, nil)
+	defer d.Close()
+	d.CollectResiduals(true)
+	if _, err := d.Frame(1); err != nil {
+		t.Fatal(err)
+	}
+	r := d.TakeResidual()
+	if r == nil || r.IFrame {
+		t.Fatalf("expected P-frame summary, got %+v", r)
+	}
+	if m := r.MeanAbs(0, 0); m <= 0 {
+		t.Fatalf("motion tile mean %v, want > 0", m)
+	}
+	for ty := 0; ty < r.TilesY; ty++ {
+		for tx := 0; tx < r.TilesX; tx++ {
+			if tx == 0 && ty == 0 {
+				continue
+			}
+			if m := r.MeanAbs(tx, ty); m != 0 {
+				t.Fatalf("tile (%d,%d) mean %v, want 0", tx, ty, m)
+			}
+		}
+	}
+	wantStatic := 1 - 1/float64(r.TilesX*r.TilesY)
+	if got := r.StaticFrac(0.5); got != wantStatic {
+		t.Fatalf("StaticFrac %v, want %v", got, wantStatic)
+	}
+}
+
+// TestResidualMagnitudeWraparound: residual bytes near 256 encode small
+// negative deltas and must map to small magnitudes.
+func TestResidualMagnitudeWraparound(t *testing.T) {
+	if residualMag[0] != 0 || residualMag[1] != 1 || residualMag[255] != 1 ||
+		residualMag[128] != 128 || residualMag[200] != 56 {
+		t.Fatalf("magnitude LUT wrong: %v %v %v %v %v",
+			residualMag[0], residualMag[1], residualMag[255], residualMag[128], residualMag[200])
+	}
+}
+
+// TestResidualsDisabledByDefault: no summaries unless opted in, and
+// disabling clears pending state.
+func TestResidualsDisabledByDefault(t *testing.T) {
+	v := encodeClip(t, 2, 8, func(i int) *frame.Frame {
+		g := frame.New(16, 16, 1)
+		g.Index = i
+		return g
+	})
+	d := NewDecoder(v, nil)
+	defer d.Close()
+	if _, err := d.Frame(1); err != nil {
+		t.Fatal(err)
+	}
+	if r := d.TakeResidual(); r != nil {
+		t.Fatal("summary produced with collection disabled")
+	}
+	d.CollectResiduals(true)
+	if _, err := d.Frame(0); err != nil {
+		t.Fatal(err)
+	}
+	d.CollectResiduals(false)
+	if r := d.TakeResidual(); r != nil {
+		t.Fatal("disable did not clear pending summary")
+	}
+}

@@ -29,15 +29,33 @@ import (
 // tier's memory-pressure signal: above the store's 75% eviction threshold
 // the effective budget halves, and above the scheduler's 80% SJF pressure
 // threshold it quarters, so the GOP cache yields memory to the object
-// store exactly when the rest of the engine is shedding load.
+// store exactly when the rest of the engine is shedding load. The shrunk
+// budget is floored at the largest resident entry so sustained pressure
+// degrades to "keep the hottest GOP" instead of evict-rebuild thrash.
+//
+// Admission and eviction are keyed on observed reuse, not pure recency:
+// each entry carries a hit count (decayed periodically so stale history
+// fades), eviction drops the entry with the fewest hits (LRU only as the
+// tie-break), and a bounded ghost history of recently evicted keys seeds
+// the count on readmission so a GOP with proven reuse outranks a
+// never-again-touched scan GOP even after it has been dropped once.
 type gopCache struct {
 	budget   int64
 	pressure func() float64 // store fill fraction in [0,1]; may be nil
 	tr       *obs.Tracer    // may be nil (tracing calls are nil-safe)
 
+	// collectResiduals makes build/extend retain per-frame residual
+	// summaries alongside the decoded frames (set once at construction).
+	collectResiduals bool
+
 	mu      sync.Mutex
 	entries map[gopKey]*gopEntry
-	clock   int64 // LRU tick
+	clock   int64 // LRU tick; also drives periodic hit-count decay
+
+	// ghost remembers the reuse counts of recently evicted entries;
+	// ghostOrder is its FIFO trim order (stale keys are skipped on trim).
+	ghost      map[gopKey]int64
+	ghostOrder []gopKey
 
 	// bytes is the decoded-frame footprint. Mutated only under mu, but
 	// atomic so the scheduler's memory-pressure callback (sampled at every
@@ -45,9 +63,17 @@ type gopCache struct {
 	bytes atomic.Int64
 
 	// counters (guarded by mu; snapshot via statsLocked)
-	hits, misses, extends, evictions int64
-	framesDecoded, bytesDecoded      int64
+	hits, misses, extends, evictions, readmissions int64
+	framesDecoded, bytesDecoded                    int64
+	derivedHits, derivedMisses, derivedBytes       int64
 }
+
+// gopGhostCap bounds the ghost history; gopDecayInterval is how many
+// acquires pass between halvings of every live and ghost hit count.
+const (
+	gopGhostCap      = 1024
+	gopDecayInterval = 256
+)
 
 type gopKey struct {
 	video string
@@ -63,21 +89,35 @@ type gopEntry struct {
 	// guarded by gopCache.mu
 	refs    int
 	lastUse int64
+	hits    int64 // observed reuse count; eviction priority key
 	bytes   int64
+
+	// derived caches frames computed *from* this GOP's decoded frames —
+	// superset-crop regions shared by overlapping views — keyed by a
+	// deterministic descriptor. Publication is single-flight: the first
+	// claimant computes, peers wait on the slot. Guarded by gopCache.mu;
+	// accounted into bytes and dropped with the entry.
+	derived map[string]*derivedSlot
 
 	// mu serializes build/extend; frames[:decodedThrough-start+1] are
 	// immutable once published and shared read-only across samples.
+	// residuals parallels frames when residual collection is on
+	// (residuals[i] summarizes frames[i]'s temporal delta).
 	mu             sync.Mutex
 	frames         []*frame.Frame
+	residuals      []*codec.ResidualSummary
 	decodedThrough int
 	err            error
 }
 
-func newGOPCache(budget int64, pressure func() float64) *gopCache {
+func newGOPCache(budget int64, pressure func() float64, collectResiduals bool) *gopCache {
 	if budget <= 0 {
 		budget = 64 << 20
 	}
-	return &gopCache{budget: budget, pressure: pressure, entries: map[gopKey]*gopEntry{}}
+	return &gopCache{
+		budget: budget, pressure: pressure, collectResiduals: collectResiduals,
+		entries: map[gopKey]*gopEntry{}, ghost: map[gopKey]int64{},
+	}
 }
 
 // acquire pins the GOP containing idx, building (decoding) it on first
@@ -89,23 +129,52 @@ func (c *gopCache) acquire(ent *dataset.Entry, idx int) (*gopEntry, error) {
 	}
 	key := gopKey{video: ent.Spec.Name, start: k}
 	c.mu.Lock()
+	c.tickLocked()
 	if e, ok := c.entries[key]; ok {
 		e.refs++
-		c.clock++
 		e.lastUse = c.clock
+		e.hits++
 		c.hits++
 		c.mu.Unlock()
 		return e, nil
 	}
 	e := &gopEntry{key: key, ready: make(chan struct{}), refs: 1}
-	c.clock++
 	e.lastUse = c.clock
+	if h, ok := c.ghost[key]; ok {
+		// Readmission: the re-reference itself is evidence of reuse, so a
+		// readmitted GOP starts above a never-seen scan GOP (hits >= 1)
+		// plus half its pre-eviction count.
+		e.hits = h/2 + 1
+		delete(c.ghost, key)
+		c.readmissions++
+	}
 	c.entries[key] = e
 	c.misses++
 	c.mu.Unlock()
 
 	c.build(ent, e, k, idx)
 	return e, nil
+}
+
+// tickLocked advances the cache clock and periodically halves every live
+// and ghost hit count, so reuse observed long ago cannot permanently pin
+// an entry against a workload shift.
+func (c *gopCache) tickLocked() {
+	c.clock++
+	if c.clock%gopDecayInterval != 0 {
+		return
+	}
+	for _, e := range c.entries {
+		e.hits /= 2
+	}
+	for k, h := range c.ghost {
+		h /= 2
+		if h == 0 {
+			delete(c.ghost, k)
+		} else {
+			c.ghost[k] = h
+		}
+	}
 }
 
 // build decodes frames k..idx into e and publishes the entry.
@@ -115,6 +184,7 @@ func (c *gopCache) build(ent *dataset.Entry, e *gopEntry, k, idx int) {
 	defer close(e.ready)
 	dec := codec.NewDecoder(ent.Video, nil)
 	defer dec.Close()
+	dec.CollectResiduals(c.collectResiduals)
 	frames := make([]*frame.Frame, 0, idx-k+1)
 	var bytes int64
 	for j := k; j <= idx; j++ {
@@ -125,6 +195,9 @@ func (c *gopCache) build(ent *dataset.Entry, e *gopEntry, k, idx int) {
 		}
 		frames = append(frames, f)
 		bytes += int64(f.Bytes())
+		if c.collectResiduals {
+			e.residuals = append(e.residuals, dec.TakeResidual())
+		}
 	}
 	e.frames = frames
 	e.decodedThrough = idx
@@ -144,6 +217,7 @@ func (c *gopCache) extend(ent *dataset.Entry, e *gopEntry, idx int) error {
 	}
 	dec := codec.NewDecoder(ent.Video, nil)
 	defer dec.Close()
+	dec.CollectResiduals(c.collectResiduals)
 	if err := dec.Prime(e.frames[len(e.frames)-1], e.decodedThrough); err != nil {
 		return err
 	}
@@ -157,6 +231,9 @@ func (c *gopCache) extend(ent *dataset.Entry, e *gopEntry, idx int) error {
 		e.decodedThrough = j
 		bytes += int64(f.Bytes())
 		n++
+		if c.collectResiduals {
+			e.residuals = append(e.residuals, dec.TakeResidual())
+		}
 	}
 	c.account(e, bytes, n)
 	c.mu.Lock()
@@ -190,24 +267,50 @@ func (c *gopCache) release(e *gopEntry) {
 
 // effectiveBudgetLocked shrinks the budget under memory pressure: half
 // beyond the store's 75% eviction threshold, a quarter beyond the
-// scheduler's 80% SJF switch.
+// scheduler's 80% SJF switch. The shrunk value is floored at the largest
+// resident entry's footprint — with a small budget or deep pressure the
+// integer division would otherwise round below a single GOP and force an
+// evict-redecode cycle on every release (thrash); keeping exactly the
+// hottest GOP resident is strictly cheaper. With no residents the shrunk
+// value stands as-is, so pressure still gates fresh admissions.
 func (c *gopCache) effectiveBudgetLocked() int64 {
 	b := c.budget
 	if c.pressure == nil {
 		return b
 	}
+	shrunk := b
 	switch p := c.pressure(); {
 	case p >= sched.MemoryPressureThreshold:
-		return b / 4
+		shrunk = b / 4
 	case p >= storage.EvictionThreshold:
-		return b / 2
+		shrunk = b / 2
 	}
-	return b
+	if shrunk == b {
+		return b
+	}
+	var maxEnt int64
+	for _, e := range c.entries {
+		if e.bytes > maxEnt {
+			maxEnt = e.bytes
+		}
+	}
+	if shrunk < maxEnt {
+		shrunk = maxEnt
+	}
+	if shrunk > b {
+		shrunk = b
+	}
+	return shrunk
 }
 
-// evictLocked drops least-recently-used unpinned GOPs until the cache
-// fits its (pressure-adjusted) budget. Pinned entries are never dropped;
-// their frames stay valid for every lease holder.
+// evictLocked drops unpinned GOPs until the cache fits its
+// (pressure-adjusted) budget. The victim is the entry with the fewest
+// observed hits, ties broken by least-recent use — so a GOP that many
+// samples have shared outlives a same-age GOP touched exactly once, and
+// a one-pass scan cannot flush the reuse working set. Evicted keys enter
+// the ghost history so their reuse record survives a transient eviction.
+// Pinned entries are never dropped; their frames stay valid for every
+// lease holder.
 func (c *gopCache) evictLocked() {
 	limit := c.effectiveBudgetLocked()
 	var dropped, freed int64
@@ -217,7 +320,8 @@ func (c *gopCache) evictLocked() {
 			if e.refs > 0 {
 				continue
 			}
-			if victim == nil || e.lastUse < victim.lastUse {
+			if victim == nil || e.hits < victim.hits ||
+				(e.hits == victim.hits && e.lastUse < victim.lastUse) {
 				victim = e
 			}
 		}
@@ -226,6 +330,9 @@ func (c *gopCache) evictLocked() {
 		}
 		delete(c.entries, victim.key)
 		c.bytes.Add(-victim.bytes)
+		c.ghost[victim.key] = victim.hits
+		c.ghostOrder = append(c.ghostOrder, victim.key)
+		c.trimGhostLocked()
 		dropped++
 		freed += victim.bytes
 		c.evictions++
@@ -237,18 +344,110 @@ func (c *gopCache) evictLocked() {
 	}
 }
 
+// trimGhostLocked bounds the ghost history to gopGhostCap entries,
+// retiring the oldest evictions first. Keys already removed from the map
+// (readmitted or decayed away) are skipped.
+func (c *gopCache) trimGhostLocked() {
+	for len(c.ghost) > gopGhostCap && len(c.ghostOrder) > 0 {
+		k := c.ghostOrder[0]
+		c.ghostOrder = c.ghostOrder[1:]
+		delete(c.ghost, k)
+	}
+	// Compact the order slice if stale keys let it outgrow the map badly.
+	if len(c.ghostOrder) > 2*gopGhostCap {
+		live := c.ghostOrder[:0]
+		for _, k := range c.ghostOrder {
+			if _, ok := c.ghost[k]; ok {
+				live = append(live, k)
+			}
+		}
+		c.ghostOrder = live
+	}
+}
+
 // bytesNow returns the cache's current decoded-frame footprint. It is a
 // single atomic load so the combined memPressure feed stays lock-free.
 func (c *gopCache) bytesNow() int64 {
 	return c.bytes.Load()
 }
 
+// derivedSlot is one single-flight derived-frame computation. The first
+// claimant becomes the leader and computes; everyone else blocks on
+// ready. f stays nil if the leader abandoned (error or deadline).
+type derivedSlot struct {
+	f     *frame.Frame
+	ready chan struct{} // closed on publish or abandon
+}
+
+// claimDerived resolves descriptor dk in e with single-flight semantics:
+//
+//   - (f, nil): the frame is published — use it, never recycle it.
+//   - (nil, slot): the caller is the leader and MUST finish the flight
+//     with publishDerived or abandonDerived, or peers block forever.
+//   - (nil, nil): a previous leader abandoned while the caller waited —
+//     compute privately without publishing.
+//
+// Waiting happens off the cache lock. The caller must hold a reference
+// on e (a lease pin) so the entry cannot be evicted mid-flight.
+func (c *gopCache) claimDerived(e *gopEntry, dk string) (*frame.Frame, *derivedSlot) {
+	c.mu.Lock()
+	slot := e.derived[dk]
+	if slot == nil {
+		slot = &derivedSlot{ready: make(chan struct{})}
+		if e.derived == nil {
+			e.derived = map[string]*derivedSlot{}
+		}
+		e.derived[dk] = slot
+		c.derivedMisses++
+		c.mu.Unlock()
+		return nil, slot
+	}
+	c.mu.Unlock()
+	<-slot.ready
+	c.mu.Lock()
+	if slot.f != nil {
+		c.derivedHits++
+	} else {
+		c.derivedMisses++
+	}
+	c.mu.Unlock()
+	return slot.f, nil
+}
+
+// publishDerived completes a flight opened by claimDerived, accounting
+// the frame into the entry and the cache budget — heavy superset reuse
+// competes with raw decoded frames for the same memory. The published
+// frame is shared read-only; the caller must not recycle it.
+func (c *gopCache) publishDerived(e *gopEntry, slot *derivedSlot, f *frame.Frame) {
+	c.mu.Lock()
+	slot.f = f
+	b := int64(f.Bytes())
+	e.bytes += b
+	c.bytes.Add(b)
+	c.derivedBytes += b
+	c.evictLocked()
+	c.mu.Unlock()
+	close(slot.ready)
+}
+
+// abandonDerived completes a failed flight: the slot is removed so a
+// later claimant can retry, and waiters observe a nil frame.
+func (c *gopCache) abandonDerived(e *gopEntry, dk string, slot *derivedSlot) {
+	c.mu.Lock()
+	if e.derived[dk] == slot {
+		delete(e.derived, dk)
+	}
+	c.mu.Unlock()
+	close(slot.ready)
+}
+
 // gopStats is a counter snapshot for the metrics layer.
 type gopStats struct {
-	Hits, Misses, Extends, Evictions int64
-	FramesDecoded, BytesDecoded      int64
-	Bytes                            int64
-	Entries                          int
+	Hits, Misses, Extends, Evictions, Readmissions int64
+	FramesDecoded, BytesDecoded                    int64
+	DerivedHits, DerivedMisses, DerivedBytes       int64
+	Bytes                                          int64
+	Entries, Ghosts                                int
 }
 
 func (c *gopCache) stats() gopStats {
@@ -256,8 +455,10 @@ func (c *gopCache) stats() gopStats {
 	defer c.mu.Unlock()
 	return gopStats{
 		Hits: c.hits, Misses: c.misses, Extends: c.extends, Evictions: c.evictions,
+		Readmissions:  c.readmissions,
 		FramesDecoded: c.framesDecoded, BytesDecoded: c.bytesDecoded,
-		Bytes: c.bytes.Load(), Entries: len(c.entries),
+		DerivedHits: c.derivedHits, DerivedMisses: c.derivedMisses, DerivedBytes: c.derivedBytes,
+		Bytes: c.bytes.Load(), Entries: len(c.entries), Ghosts: len(c.ghost),
 	}
 }
 
@@ -312,6 +513,17 @@ type gopLease struct {
 // GOP for the lifetime of the lease. The frame is shared read-only: the
 // caller must not mutate or recycle it.
 func (l *gopLease) frame(ent *dataset.Entry, idx int) (*frame.Frame, error) {
+	e, err := l.entryFor(ent, idx)
+	if err != nil {
+		return nil, err
+	}
+	return l.c.frameFrom(ent, e, idx)
+}
+
+// entryFor returns the pinned entry covering frame idx of ent's video,
+// pinning its GOP on first touch (the same dedup dance as frame, without
+// forcing a decode past what is already resident).
+func (l *gopLease) entryFor(ent *dataset.Entry, idx int) (*gopEntry, error) {
 	k, err := ent.Video.KeyframeBefore(idx)
 	if err != nil {
 		return nil, err
@@ -320,24 +532,94 @@ func (l *gopLease) frame(ent *dataset.Entry, idx int) (*frame.Frame, error) {
 	l.mu.Lock()
 	e, ok := l.held[key]
 	l.mu.Unlock()
-	if !ok {
-		fresh, err := l.c.acquire(ent, idx)
-		if err != nil {
-			return nil, err
+	if ok {
+		return e, nil
+	}
+	fresh, err := l.c.acquire(ent, idx)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	if prev, dup := l.held[key]; dup {
+		l.mu.Unlock()
+		l.c.release(fresh)
+		return prev, nil
+	}
+	l.held[key] = fresh
+	l.mu.Unlock()
+	return fresh, nil
+}
+
+// staticBetween reports whether the video stayed (approximately) still
+// from frame prevIdx to frame idx: every residual tile's accumulated
+// mean magnitude across frames prevIdx+1..idx is below thresh. The
+// second return is the fraction of tiles below the threshold (0 when the
+// gap could not be evaluated), feeding the static-fraction histogram.
+// It only answers true from cached residual summaries — the gap must sit
+// inside one GOP already pinned by this lease with no keyframe and no
+// missing summary in between; anything else conservatively reports
+// false. The accumulated per-tile mean is a sum of mod-256
+// minimal-magnitude residuals, so the check is a heuristic, not a bound
+// — callers needing bit-exact output must not gate on it.
+func (l *gopLease) staticBetween(ent *dataset.Entry, prevIdx, idx int, thresh float64) (bool, float64) {
+	if prevIdx < 0 || idx <= prevIdx || thresh <= 0 {
+		return false, 0
+	}
+	k, err := ent.Video.KeyframeBefore(idx)
+	if err != nil || k > prevIdx {
+		return false, 0 // a keyframe interrupts the gap (or lookup failed)
+	}
+	key := gopKey{video: ent.Spec.Name, start: k}
+	l.mu.Lock()
+	e := l.held[key]
+	l.mu.Unlock()
+	if e == nil {
+		return false, 0
+	}
+	<-e.ready
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil || idx > e.decodedThrough || len(e.residuals) <= idx-k {
+		return false, 0
+	}
+	var acc []uint32
+	var tilesX, tilesY int
+	for j := prevIdx + 1; j <= idx; j++ {
+		r := e.residuals[j-k]
+		if r == nil || r.IFrame {
+			return false, 0
 		}
-		l.mu.Lock()
-		if prev, dup := l.held[key]; dup {
-			// A concurrent intra-sample worker pinned this GOP first.
-			l.mu.Unlock()
-			l.c.release(fresh)
-			e = prev
-		} else {
-			l.held[key] = fresh
-			l.mu.Unlock()
-			e = fresh
+		if acc == nil {
+			tilesX, tilesY = r.TilesX, r.TilesY
+			acc = make([]uint32, len(r.SumAbs))
+		} else if r.TilesX != tilesX || r.TilesY != tilesY {
+			return false, 0
+		}
+		for t, v := range r.SumAbs {
+			acc[t] += v
 		}
 	}
-	return l.c.frameFrom(ent, e, idx)
+	// Compare each tile's accumulated mean (per pixel-sample, clipped edge
+	// tiles use their true area) against the threshold.
+	w, h, ch := ent.Video.W, ent.Video.H, ent.Video.C
+	static := 0
+	for ty := 0; ty < tilesY; ty++ {
+		th := codec.ResidualTile
+		if (ty+1)*codec.ResidualTile > h {
+			th = h - ty*codec.ResidualTile
+		}
+		for tx := 0; tx < tilesX; tx++ {
+			tw := codec.ResidualTile
+			if (tx+1)*codec.ResidualTile > w {
+				tw = w - tx*codec.ResidualTile
+			}
+			if float64(acc[ty*tilesX+tx]) < thresh*float64(tw*th*ch) {
+				static++
+			}
+		}
+	}
+	total := tilesX * tilesY
+	return static == total, float64(static) / float64(total)
 }
 
 // release unpins every GOP the lease holds. The lease is unusable after.

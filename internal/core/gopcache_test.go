@@ -68,7 +68,7 @@ func framesEqual(a, b *frame.Frame) bool {
 // correct pixels. Run under -race this doubles as the shared-read check.
 func TestGOPCacheConcurrentSameGOP(t *testing.T) {
 	ent := gopTestEntry(t, "samegop", 30, 30) // one GOP
-	c := newGOPCache(1<<30, nil)
+	c := newGOPCache(1<<30, nil, false)
 
 	const goroutines = 16
 	var wg sync.WaitGroup
@@ -122,7 +122,7 @@ func TestGOPCacheConcurrentSameGOP(t *testing.T) {
 // deepening indices within each GOP, so extends interleave with hits.
 func TestGOPCacheConcurrentAdjacentGOPs(t *testing.T) {
 	ent := gopTestEntry(t, "adjacent", 90, 30) // GOPs at 0, 30, 60
-	c := newGOPCache(1<<30, nil)
+	c := newGOPCache(1<<30, nil, false)
 
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)
@@ -176,7 +176,7 @@ func TestGOPCacheByteBudgetEviction(t *testing.T) {
 	ent := gopTestEntry(t, "evict", 100, 10) // 10 GOPs of 10 frames
 	frameBytes := int64(32 * 24 * 3)
 	budget := 25 * frameBytes // fits ~2.5 GOPs of 10 frames
-	c := newGOPCache(budget, nil)
+	c := newGOPCache(budget, nil, false)
 
 	for idx := 9; idx < 100; idx += 10 { // touch the deep end of every GOP
 		if _, err := c.frameOnce(ent, idx); err != nil {
@@ -209,7 +209,7 @@ func TestGOPCacheByteBudgetEviction(t *testing.T) {
 func TestGOPCacheEvictionVsRefHolder(t *testing.T) {
 	ent := gopTestEntry(t, "pinned", 100, 10)
 	frameBytes := int64(32 * 24 * 3)
-	c := newGOPCache(15*frameBytes, nil) // ~1.5 GOPs
+	c := newGOPCache(15*frameBytes, nil, false) // ~1.5 GOPs
 
 	// Pin GOP 0 fully decoded.
 	lease := c.lease()
@@ -275,7 +275,7 @@ func TestGOPCachePressureShrinksBudget(t *testing.T) {
 		mu.Lock()
 		defer mu.Unlock()
 		return pressure
-	})
+	}, false)
 	set := func(p float64) {
 		mu.Lock()
 		pressure = p
@@ -373,5 +373,280 @@ func TestMaterializeChainParallelMatchesSerial(t *testing.T) {
 		if serial[i] != parallel[i] {
 			t.Fatalf("byte %d differs between serial and parallel materialization", i)
 		}
+	}
+}
+
+// staticTestEntry encodes a video whose frames are all identical, so
+// every P-frame residual is exactly zero.
+func staticTestEntry(t testing.TB, name string, frames, gop int) *dataset.Entry {
+	t.Helper()
+	base := frame.New(32, 24, 3)
+	for j := range base.Pix {
+		base.Pix[j] = byte(j * 13 % 251)
+	}
+	raw := make([]*frame.Frame, frames)
+	for i := range raw {
+		f := base.Clone()
+		f.Index = i
+		raw[i] = f
+	}
+	clip, err := frame.NewClip(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := codec.Encode(clip, codec.EncodeParams{GOP: gop, FPS: 10})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	ent := &dataset.Entry{Video: v}
+	ent.Spec.Name = name
+	return ent
+}
+
+// TestGOPCacheBudgetFloorUnderPressure pins the anti-thrash floor: when
+// pressure shrinks the budget below the largest resident GOP, the
+// effective budget clamps to that entry instead of rounding down and
+// evict-rebuilding it on every release.
+func TestGOPCacheBudgetFloorUnderPressure(t *testing.T) {
+	ent := gopTestEntry(t, "floor", 10, 10) // one 10-frame GOP
+	frameBytes := int64(32 * 24 * 3)
+	var pressure float64
+	var mu sync.Mutex
+	c := newGOPCache(12*frameBytes, func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return pressure
+	}, false)
+
+	// Decode the full GOP (10 frames) while pressure is low.
+	if _, err := c.frameOnce(ent, 9); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	pressure = 0.85 // budget/4 = 3 frames < 10-frame resident entry
+	mu.Unlock()
+
+	c.mu.Lock()
+	eff := c.effectiveBudgetLocked()
+	c.mu.Unlock()
+	if eff != 10*frameBytes {
+		t.Fatalf("effective budget %d under pressure, want floor at resident entry %d", eff, 10*frameBytes)
+	}
+	// Repeated accesses under sustained pressure must be hits, not
+	// evict-rebuild cycles.
+	for i := 0; i < 5; i++ {
+		if _, err := c.frameOnce(ent, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d under pressure floor, want 1 (no thrash)", st.Misses)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d under pressure floor, want 0", st.Evictions)
+	}
+	// With nothing resident the shrink applies unfloored, so pressure
+	// still gates fresh admissions (and the legacy 1000/500/250 behavior
+	// in TestGOPCachePressureShrinksBudget holds).
+	empty := newGOPCache(1000, func() float64 { return 0.85 }, false)
+	empty.mu.Lock()
+	eff = empty.effectiveBudgetLocked()
+	empty.mu.Unlock()
+	if eff != 250 {
+		t.Fatalf("empty-cache effective budget %d, want 250", eff)
+	}
+}
+
+// TestGOPCacheScanResistance: a one-pass scan over many cold GOPs must
+// not flush a GOP with proven reuse — eviction is keyed on hit counts,
+// recency only breaks ties.
+func TestGOPCacheScanResistance(t *testing.T) {
+	ent := gopTestEntry(t, "scan", 100, 10) // 10 GOPs of 10 frames
+	frameBytes := int64(32 * 24 * 3)
+	c := newGOPCache(25*frameBytes, nil, false) // ~2.5 GOPs
+
+	// Make GOP 0 hot: 8 accesses after the initial build.
+	for i := 0; i < 9; i++ {
+		if _, err := c.frameOnce(ent, 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scan every other GOP once, in order — under pure LRU this flushes
+	// GOP 0 (it becomes the least recent as soon as two scan GOPs land).
+	for idx := 19; idx < 100; idx += 10 {
+		if _, err := c.frameOnce(ent, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.stats().Misses
+	if _, err := c.frameOnce(ent, 9); err != nil {
+		t.Fatal(err)
+	}
+	if after := c.stats().Misses; after != before {
+		t.Fatalf("hot GOP was evicted by a cold scan (miss count %d -> %d)", before, after)
+	}
+}
+
+// TestGOPCacheGhostReadmission: an entry with reuse history that does get
+// evicted re-enters with seeded hits and bumps the readmission counter.
+func TestGOPCacheGhostReadmission(t *testing.T) {
+	ent := gopTestEntry(t, "ghost", 30, 10) // 3 GOPs of 10 frames
+	frameBytes := int64(32 * 24 * 3)
+	c := newGOPCache(12*frameBytes, nil, false) // ~1.2 GOPs
+
+	// Build reuse history on GOP 0, then force it out with GOP 1 and 2.
+	for i := 0; i < 4; i++ {
+		if _, err := c.frameOnce(ent, 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.frameOnce(ent, 19); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.frameOnce(ent, 29); err != nil {
+		t.Fatal(err)
+	}
+	st := c.stats()
+	if st.Evictions == 0 {
+		t.Fatalf("setup failed: no evictions in a 1.2-GOP budget")
+	}
+	// Re-touch GOP 0: must be recognized from the ghost history.
+	if _, err := c.frameOnce(ent, 9); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.stats(); st.Readmissions == 0 {
+		t.Fatalf("re-admitted GOP not found in ghost history (readmissions=0, ghosts=%d)", st.Ghosts)
+	}
+	// The readmitted entry carries seeded hits: a fresh cold GOP loses
+	// the next eviction contest to it.
+	c.mu.Lock()
+	e := c.entries[gopKey{video: "ghost", start: 0}]
+	if e == nil {
+		c.mu.Unlock()
+		t.Fatal("readmitted entry missing")
+	}
+	if e.hits < 1 {
+		c.mu.Unlock()
+		t.Fatalf("readmitted entry hits = %d, want >= 1", e.hits)
+	}
+	c.mu.Unlock()
+}
+
+// TestGOPLeaseStaticBetween exercises residual-summary storage and the
+// static-gap query the residual gate builds on.
+func TestGOPLeaseStaticBetween(t *testing.T) {
+	static := staticTestEntry(t, "still", 20, 10)
+	moving := gopTestEntry(t, "moving", 20, 10)
+
+	c := newGOPCache(1<<30, nil, true) // residual collection on
+	lease := c.lease()
+	defer lease.release()
+	if _, err := lease.frame(static, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lease.frame(moving, 9); err != nil {
+		t.Fatal(err)
+	}
+
+	if ok, frac := lease.staticBetween(static, 3, 7, 1.0); !ok || frac != 1 {
+		t.Fatalf("static video gap reported dynamic (ok=%v frac=%v)", ok, frac)
+	}
+	if ok, _ := lease.staticBetween(static, 1, 9, 0.5); !ok {
+		t.Fatal("full static GOP gap reported dynamic")
+	}
+	if ok, _ := lease.staticBetween(moving, 3, 7, 1.0); ok {
+		t.Fatal("moving video gap reported static")
+	}
+	// A keyframe inside the gap disqualifies it even for a still video.
+	if _, err := lease.frame(static, 12); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := lease.staticBetween(static, 9, 12, 1e9); ok {
+		t.Fatal("gap crossing a keyframe reported static")
+	}
+	// Degenerate queries are conservatively dynamic.
+	for _, q := range [][3]int{{7, 7, 1}, {-1, 3, 1}, {3, 7, 0}} {
+		if ok, _ := lease.staticBetween(static, q[0], q[1], float64(q[2])); ok {
+			t.Fatalf("degenerate gap %v accepted", q)
+		}
+	}
+	// Collection off: summaries absent, gate must refuse.
+	c2 := newGOPCache(1<<30, nil, false)
+	l2 := c2.lease()
+	defer l2.release()
+	if _, err := l2.frame(static, 9); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := l2.staticBetween(static, 3, 7, 1.0); ok {
+		t.Fatal("staticBetween true without residual summaries")
+	}
+}
+
+// TestGOPCacheDerivedFrames covers the single-flight derived
+// superset-frame cache: one leader per descriptor, waiters receive the
+// published frame, abandoned flights retry, bytes are accounted and
+// released with the entry.
+func TestGOPCacheDerivedFrames(t *testing.T) {
+	ent := gopTestEntry(t, "derived", 10, 10)
+	c := newGOPCache(1<<30, nil, false)
+	lease := c.lease()
+	if _, err := lease.frame(ent, 5); err != nil {
+		t.Fatal(err)
+	}
+	e, err := lease.entryFor(ent, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, claim := c.claimDerived(e, "k1")
+	if f0 != nil || claim == nil {
+		t.Fatalf("first claim: frame=%v claim=%v, want leadership", f0, claim)
+	}
+	// A concurrent waiter blocks until the leader publishes.
+	waited := make(chan *frame.Frame, 1)
+	go func() {
+		f, cl := c.claimDerived(e, "k1")
+		if cl != nil {
+			t.Error("waiter granted leadership during an open flight")
+		}
+		waited <- f
+	}()
+	f1 := frame.New(8, 8, 3)
+	c.publishDerived(e, claim, f1)
+	if got := <-waited; got != f1 {
+		t.Fatalf("waiter got %v, want the published frame", got)
+	}
+	// A late claim hits without blocking.
+	if f, cl := c.claimDerived(e, "k1"); f != f1 || cl != nil {
+		t.Fatalf("late claim: frame=%v claim=%v, want published hit", f, cl)
+	}
+	st := c.stats()
+	if st.DerivedHits != 2 || st.DerivedMisses != 1 {
+		t.Fatalf("derived hit/miss = %d/%d, want 2/1", st.DerivedHits, st.DerivedMisses)
+	}
+	if st.DerivedBytes != int64(f1.Bytes()) {
+		t.Fatalf("derived bytes %d, want %d", st.DerivedBytes, f1.Bytes())
+	}
+	// An abandoned flight clears the slot so the next claimant leads.
+	if _, cl := c.claimDerived(e, "k2"); cl == nil {
+		t.Fatal("no leadership for fresh descriptor")
+	} else {
+		c.abandonDerived(e, "k2", cl)
+	}
+	if _, cl := c.claimDerived(e, "k2"); cl == nil {
+		t.Fatal("abandoned flight did not allow a retry")
+	} else {
+		c.abandonDerived(e, "k2", cl)
+	}
+	bytesWithDerived := c.stats().Bytes
+	lease.release()
+	// Shrink the budget to force the entry (and its derived frames) out.
+	c.mu.Lock()
+	c.budget = 1
+	c.evictLocked()
+	leftover := c.bytes.Load()
+	c.mu.Unlock()
+	if leftover != 0 {
+		t.Fatalf("bytes %d after evicting sole entry (had %d); derived frames leaked", leftover, bytesWithDerived)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sand/internal/augment"
 	"sand/internal/dataset"
 	"sand/internal/frame"
 	"sand/internal/graph"
@@ -82,10 +83,11 @@ func (s *Service) materializeSampleClip(sm *graph.Sample, deadline int64, tid ob
 	}
 	lease := s.gops.lease()
 	defer lease.release()
+	plan := s.buildReusePlan(sm, ent)
 
 	var out []*frame.Frame
 	for ci, chain := range sm.Chains {
-		clipFrames, err := s.materializeChain(sm, ci, chain, ent, lease, deadline, tid)
+		clipFrames, err := s.materializeChain(sm, ci, chain, ent, lease, plan, deadline, tid)
 		if err != nil {
 			return nil, err
 		}
@@ -106,13 +108,20 @@ func (s *Service) materializeSampleClip(sm *graph.Sample, deadline int64, tid ob
 // Output order is deterministic regardless of worker count: workers write
 // only their own out[pos] slot.
 func (s *Service) materializeChain(sm *graph.Sample, ci int, chain *graph.ResolvedChain,
-	ent *dataset.Entry, lease *gopLease, deadline int64, tid obs.TraceID) ([]*frame.Frame, error) {
+	ent *dataset.Entry, lease *gopLease, plan *reusePlan, deadline int64, tid obs.TraceID) ([]*frame.Frame, error) {
 
 	total := len(chain.Ops)
 	out := make([]*frame.Frame, len(sm.FrameIndices))
 	// One Enabled() check per chain: the off path adds a single bool test
 	// per frame, no defers, no formatting.
 	traced := s.tr.Enabled()
+	grp := plan.groupFor(ci)
+	// Grouped chains skip shallow cached prefixes: anything at or above
+	// the crop depth is served better through the shared superset.
+	stopDepth := -1
+	if grp != nil {
+		stopDepth = grp.depth
+	}
 
 	work := func(pos, idx int) error {
 		if traced {
@@ -123,14 +132,29 @@ func (s *Service) materializeChain(sm *graph.Sample, ci int, chain *graph.Resolv
 		}
 		// Deepest cached augmentation prefix in the object store wins;
 		// DecodeFrame hands us an exclusively owned frame.
-		f, fromDepth, err := s.loadBestCached(sm, chain, idx, total)
+		f, fromDepth, err := s.loadBestCached(sm, chain, idx, total, stopDepth)
 		owned := true
 		if err != nil {
 			return err
 		}
-		if f != nil {
+		switch {
+		case f != nil:
 			s.countReuse()
-		} else {
+		case grp != nil:
+			// Overlapping-view fast path: slice this chain's crop out of
+			// the group's shared superset region, then run the suffix.
+			f, err = s.supersetView(sm, ci, chain, grp, ent, lease, idx, deadline)
+			if err != nil {
+				return err
+			}
+			fromDepth = grp.depth + 1
+			if node := nodeAtDepth(findLeaf(sm, ci, idx), total, fromDepth); node != nil && node.Cached {
+				key := augKey(sm.Video, idx, cumulativeSig(chain.Ops, fromDepth))
+				if err := s.storeFrame(key, f, deadline, false); err != nil {
+					return err
+				}
+			}
+		default:
 			// Raw decode through the shared GOP cache: the frame is
 			// shared read-only with other samples, never recycled.
 			f, err = lease.frame(ent, idx)
@@ -155,6 +179,14 @@ func (s *Service) materializeChain(sm *graph.Sample, ci int, chain *graph.Resolv
 	}
 
 	workers := s.intraSampleWorkers(len(sm.FrameIndices))
+	if s.opts.Reuse.ResidualGate {
+		// The gate compares each frame against its predecessor's output,
+		// so positions must materialize in order.
+		if err := s.materializeGated(sm, ent, lease, out, work); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	if workers <= 1 {
 		for pos, idx := range sm.FrameIndices {
 			if err := work(pos, idx); err != nil {
@@ -219,12 +251,51 @@ func (s *Service) intraSampleWorkers(n int) int {
 	return w
 }
 
+// materializeGated runs the chain's positions serially, letting frames
+// whose accumulated codec residual stays below the configured threshold
+// copy the previous position's augmented output instead of recomputing
+// the chain (residual-gated augmentation). The gate is approximate —
+// residual magnitudes are minimal mod-256 representatives, not bounds —
+// so it only runs when Options.Reuse.ResidualGate opted in; exact mode
+// is simply the gate left off.
+func (s *Service) materializeGated(sm *graph.Sample, ent *dataset.Entry, lease *gopLease,
+	out []*frame.Frame, work func(pos, idx int) error) error {
+	thresh := s.opts.Reuse.ResidualThreshold
+	prevIdx := -1
+	for pos, idx := range sm.FrameIndices {
+		if pos > 0 && idx > prevIdx && out[pos-1] != nil {
+			s.residualChecked.Add(1)
+			still, frac := lease.staticBetween(ent, prevIdx, idx, thresh)
+			s.histStatic.Observe(int64(frac * 10000))
+			if still {
+				s.residualSkipped.Add(1)
+				prev := out[pos-1]
+				cp := frame.NewPooled(prev.W, prev.H, prev.C)
+				copy(cp.Pix, prev.Pix)
+				cp.Index = idx
+				cp.PTS = int64(idx) * 1000 / int64(ent.Video.FPS)
+				out[pos] = cp
+				prevIdx = idx
+				continue
+			}
+		}
+		if err := work(pos, idx); err != nil {
+			return err
+		}
+		prevIdx = idx
+	}
+	return nil
+}
+
 // loadBestCached searches the store for the deepest cached prefix of one
 // chain for one frame: the leaf first, then shallower aug objects, then
 // the decoded frame. Returns the loaded frame and the depth it
-// corresponds to, or (nil, 0, nil) when nothing is cached.
-func (s *Service) loadBestCached(sm *graph.Sample, chain *graph.ResolvedChain, idx, total int) (*frame.Frame, int, error) {
-	for d := total; d >= 0; d-- {
+// corresponds to, or (nil, 0, nil) when nothing is cached. Depths at or
+// below stopDepth are not consulted (-1 searches all the way down to the
+// decoded frame); superset-grouped chains stop at the crop depth, where
+// the shared region is the cheaper source.
+func (s *Service) loadBestCached(sm *graph.Sample, chain *graph.ResolvedChain, idx, total, stopDepth int) (*frame.Frame, int, error) {
+	for d := total; d > stopDepth; d-- {
 		var key string
 		if d == 0 {
 			key = frameKey(sm.Video, idx)
@@ -247,30 +318,55 @@ func (s *Service) loadBestCached(sm *graph.Sample, chain *graph.ResolvedChain, i
 
 // applyOps runs chain.Ops[fromDepth:] on f, storing intermediate objects
 // whose plan nodes are cached. owned reports whether f is exclusively
-// ours: owned intermediates are recycled into the frame pool as soon as
-// the next op replaces them, while shared frames (GOP-cache hits, which
-// identity ops pass through untouched) are left alone.
+// ours: owned intermediates mutate in place when the op supports it (or
+// are recycled into the frame pool as soon as the next op replaces
+// them), while shared frames (GOP-cache hits, which identity ops pass
+// through untouched) are left alone.
 func (s *Service) applyOps(sm *graph.Sample, ci int, chain *graph.ResolvedChain,
 	f *frame.Frame, owned bool, fromDepth, idx int, deadline int64) (*frame.Frame, error) {
+	return s.applyOpsRange(sm, ci, chain, f, owned, fromDepth, len(chain.Ops), idx, deadline)
+}
+
+// applyOpsRange is applyOps over the half-open depth range
+// [fromDepth, until) — the superset path uses it to run just the shared
+// prefix of a grouped chain.
+func (s *Service) applyOpsRange(sm *graph.Sample, ci int, chain *graph.ResolvedChain,
+	f *frame.Frame, owned bool, fromDepth, until, idx int, deadline int64) (*frame.Frame, error) {
 	total := len(chain.Ops)
 	cur := f
 	// One reusable single-frame wrapper: ops treat the clip as read-only
 	// input, so rebinding Frames[0] each depth is safe and allocation-free.
 	wrapper := &frame.Clip{Frames: []*frame.Frame{nil}}
-	for d := fromDepth; d < total; d++ {
+	for d := fromDepth; d < until; d++ {
+		op := chain.Ops[d].Op
 		wrapper.Frames[0] = cur
-		res, err := chain.Ops[d].Op.Apply(wrapper, nil)
-		if err != nil {
-			return nil, fmt.Errorf("core: op %s on %s frame %d: %w", chain.Ops[d].Op.Name(), sm.Video, idx, err)
-		}
-		nxt := res.Frames[0]
-		if nxt != cur {
-			if owned {
-				frame.Recycle(cur)
+		// Owned frames take the in-place path when the op offers one:
+		// resolved ops draw no randomness, so rng parity is trivial and
+		// the output is byte-identical to Apply.
+		mutated := false
+		if owned {
+			if ip, ok := op.(augment.InPlacer); ok {
+				done, err := ip.ApplyInPlace(wrapper, nil)
+				if err != nil {
+					return nil, fmt.Errorf("core: op %s on %s frame %d: %w", op.Name(), sm.Video, idx, err)
+				}
+				mutated = done
 			}
-			owned = true // freshly produced by the op: exclusively ours
 		}
-		cur = nxt
+		if !mutated {
+			res, err := op.Apply(wrapper, nil)
+			if err != nil {
+				return nil, fmt.Errorf("core: op %s on %s frame %d: %w", op.Name(), sm.Video, idx, err)
+			}
+			nxt := res.Frames[0]
+			if nxt != cur {
+				if owned {
+					frame.Recycle(cur)
+				}
+				owned = true // freshly produced by the op: exclusively ours
+			}
+			cur = nxt
+		}
 		// Shared frames already carry the right index (they were decoded
 		// as frame idx); skipping the redundant write keeps them strictly
 		// read-only across concurrent samples.

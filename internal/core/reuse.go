@@ -1,0 +1,240 @@
+package core
+
+// Overlap-aware computation reuse (DESIGN.md §9). The concrete-graph
+// merge unifies chains whose op prefixes are *identical*; this layer
+// exploits chains that are merely *similar*: multiple views of one
+// sample whose crop windows overlap share everything up to the crop, so
+// the engine materializes the prefix once, slices one bounding-superset
+// region per source frame, and serves each view's crop as a sub-slice.
+// Crop-of-crop composition makes the rewrite exact — byte-identical to
+// the per-chain baseline — which is why it is on by default.
+
+import (
+	"fmt"
+
+	"sand/internal/augment"
+	"sand/internal/dataset"
+	"sand/internal/frame"
+	"sand/internal/graph"
+)
+
+// cropRect is a crop window in the coordinate space of the frame feeding
+// the crop stage.
+type cropRect struct{ x, y, w, h int }
+
+// overlaps reports strict pixel overlap: windows sharing only an edge or
+// a corner have no common pixels and gain nothing from a superset.
+func (r cropRect) overlaps(o cropRect) bool {
+	return r.x < o.x+o.w && o.x < r.x+r.w && r.y < o.y+o.h && o.y < r.y+r.h
+}
+
+// union returns the bounding box of two windows.
+func (r cropRect) union(o cropRect) cropRect {
+	x0, y0 := r.x, r.y
+	if o.x < x0 {
+		x0 = o.x
+	}
+	if o.y < y0 {
+		y0 = o.y
+	}
+	x1, y1 := r.x+r.w, r.y+r.h
+	if o.x+o.w > x1 {
+		x1 = o.x + o.w
+	}
+	if o.y+o.h > y1 {
+		y1 = o.y + o.h
+	}
+	return cropRect{x0, y0, x1 - x0, y1 - y0}
+}
+
+// reuseGroup ties together the chains of one sample that share an
+// identical op prefix and overlapping crop windows at the same depth.
+// All members read the same intermediate frame at depth `depth`, so one
+// superset crop of it serves every member.
+type reuseGroup struct {
+	depth     int              // op index of the crop stage in every member
+	prefixSig string           // cumulative signature of ops[:depth]
+	sup       cropRect         // bounding superset of the member windows
+	members   map[int]cropRect // chain index -> that chain's window
+}
+
+// derivedKey names the superset frame for source frame idx in the
+// decoded-GOP cache's derived store. The signature prefix and window
+// pin the exact computation, so distinct groups never collide.
+func (g *reuseGroup) derivedKey(idx int) string {
+	return fmt.Sprintf("f%d|%s|%d.%d.%d.%d", idx, g.prefixSig, g.sup.x, g.sup.y, g.sup.w, g.sup.h)
+}
+
+// reusePlan maps a sample's chain indices to their reuse groups. A nil
+// plan (or an unlisted chain) means the baseline path.
+type reusePlan struct {
+	byChain map[int]*reuseGroup
+}
+
+func (p *reusePlan) groupFor(ci int) *reuseGroup {
+	if p == nil {
+		return nil
+	}
+	return p.byChain[ci]
+}
+
+// buildReusePlan inspects one sample's resolved chains for superset
+// opportunities. For each chain it walks the op list tracking frame
+// geometry, takes the first crop stage that exposes a concrete window
+// (augment.RegionOp), and groups chains by (depth, prefix signature) —
+// same prefix means the same input pixels at the crop, because resolved
+// ops are deterministic. Within a group, connected components under
+// strict overlap of two or more windows become reuse groups. Everything
+// else falls through to the baseline, so disjoint windows cost nothing.
+func (s *Service) buildReusePlan(sm *graph.Sample, ent *dataset.Entry) *reusePlan {
+	if s.opts.Reuse.DisableSuperset || len(sm.Chains) < 2 || ent.Video == nil {
+		return nil
+	}
+	type cand struct {
+		ci, depth int
+		sig       string
+		rect      cropRect
+	}
+	var cands []cand
+	for ci, chain := range sm.Chains {
+		w, h, c := ent.Video.W, ent.Video.H, ent.Video.C
+		for d, rop := range chain.Ops {
+			if reg, ok := rop.Op.(augment.RegionOp); ok {
+				if x, y, rw, rh, concrete := reg.Region(w, h); concrete {
+					cands = append(cands, cand{ci, d, cumulativeSig(chain.Ops, d), cropRect{x, y, rw, rh}})
+					break // the first concrete crop anchors this chain
+				}
+			}
+			w, h, c = graph.OpOutputGeometry(rop.Op, w, h, c)
+		}
+	}
+	if len(cands) < 2 {
+		return nil
+	}
+	byPrefix := map[string][]cand{}
+	for _, cd := range cands {
+		k := fmt.Sprintf("%d|%s", cd.depth, cd.sig)
+		byPrefix[k] = append(byPrefix[k], cd)
+	}
+	plan := &reusePlan{byChain: map[int]*reuseGroup{}}
+	for _, peers := range byPrefix {
+		if len(peers) < 2 {
+			continue
+		}
+		// Connected components under pairwise overlap: windows linked
+		// through an intermediate window share transitively through the
+		// component's bounding box.
+		visited := make([]bool, len(peers))
+		for i := range peers {
+			if visited[i] {
+				continue
+			}
+			comp := []int{i}
+			visited[i] = true
+			for q := 0; q < len(comp); q++ {
+				for j := range peers {
+					if !visited[j] && peers[j].rect.overlaps(peers[comp[q]].rect) {
+						visited[j] = true
+						comp = append(comp, j)
+					}
+				}
+			}
+			if len(comp) < 2 {
+				continue
+			}
+			g := &reuseGroup{
+				depth:     peers[i].depth,
+				prefixSig: peers[i].sig,
+				sup:       peers[comp[0]].rect,
+				members:   map[int]cropRect{},
+			}
+			for _, j := range comp {
+				g.sup = g.sup.union(peers[j].rect)
+				g.members[peers[j].ci] = peers[j].rect
+				plan.byChain[peers[j].ci] = g
+			}
+		}
+	}
+	if len(plan.byChain) == 0 {
+		return nil
+	}
+	return plan
+}
+
+// supersetView materializes chain ci's crop for source frame idx through
+// the group's shared superset: the first worker to reach a (frame,
+// group) pair computes the prefix once, slices the bounding region, and
+// publishes it in the decoded-GOP cache's derived store; everyone else
+// slices their window out of the published frame. The returned frame is
+// a pooled copy exclusively owned by the caller, already advanced past
+// the crop stage (depth group.depth+1).
+func (s *Service) supersetView(sm *graph.Sample, ci int, chain *graph.ResolvedChain,
+	grp *reuseGroup, ent *dataset.Entry, lease *gopLease, idx int, deadline int64) (*frame.Frame, error) {
+
+	e, err := lease.entryFor(ent, idx)
+	if err != nil {
+		return nil, err
+	}
+	dk := grp.derivedKey(idx)
+	// Single-flight: the first chain to reach this (frame, group) pair
+	// computes the prefix once; sibling views block briefly on the slot
+	// instead of redoing the same resize/decode work in parallel.
+	sup, claim := s.gops.claimDerived(e, dk)
+	var private *frame.Frame // set when computed without publishing
+	if sup != nil {
+		s.supersetHits.Add(1)
+	} else {
+		s.supersetMisses.Add(1)
+		fresh, err := s.computeSuperset(sm, ci, chain, grp, ent, lease, idx, deadline)
+		if err != nil {
+			if claim != nil {
+				s.gops.abandonDerived(e, dk, claim)
+			}
+			return nil, err
+		}
+		if claim != nil {
+			// The canonical frame lives in the cache and is shared
+			// read-only — never recycled.
+			s.gops.publishDerived(e, claim, fresh)
+		} else {
+			// A previous leader abandoned while we waited: use the
+			// private copy and return it to the pool below.
+			private = fresh
+		}
+		sup = fresh
+	}
+	rect := grp.members[ci]
+	view, err := sup.SubRect(rect.x-grp.sup.x, rect.y-grp.sup.y, rect.w, rect.h)
+	if private != nil {
+		frame.Recycle(private)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: view window %v in superset %v: %w", rect, grp.sup, err)
+	}
+	return view, nil
+}
+
+// computeSuperset runs the group's shared op prefix on the decoded
+// source frame and slices the bounding superset region. The result is a
+// fresh pooled frame owned by the caller.
+func (s *Service) computeSuperset(sm *graph.Sample, ci int, chain *graph.ResolvedChain,
+	grp *reuseGroup, ent *dataset.Entry, lease *gopLease, idx int, deadline int64) (*frame.Frame, error) {
+
+	src, err := lease.frame(ent, idx)
+	if err != nil {
+		return nil, fmt.Errorf("core: decode %s: %w", sm.Video, err)
+	}
+	// owned=false: the decoded source is shared read-only.
+	cur, err := s.applyOpsRange(sm, ci, chain, src, false, 0, grp.depth, idx, deadline)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := cur.SubRect(grp.sup.x, grp.sup.y, grp.sup.w, grp.sup.h)
+	if cur != src {
+		frame.Recycle(cur)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: superset window %v on %s frame %d: %w", grp.sup, sm.Video, idx, err)
+	}
+	return fresh, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"sand/internal/config"
+	"sand/internal/dataset"
+)
+
+// BenchmarkOverlappingViews measures the multi-view hot path the
+// superset-crop rewrite targets: four distinct crop views of one resized
+// frame whose windows overlap heavily. (Distinct windows matter:
+// coordinated random crops resolve to one shared window, i.e. identical
+// chains the concrete-graph merge already unifies.) StorageBudget 1
+// disables store-tier caching, so the "off" arm recomputes the shared
+// resize prefix once per view while the "reuse" arm computes it once per
+// source frame and serves every view as a sub-slice of the cached
+// superset region.
+func BenchmarkOverlappingViews(b *testing.B) {
+	ds, err := dataset.Generate("ovbench", dataset.VideoSpec{
+		W: 96, H: 96, C: 3, Frames: 40, FPS: 30, GOP: 10,
+	}, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name  string
+		reuse ReuseOptions
+	}{
+		{"reuse", ReuseOptions{}},
+		{"off", ReuseOptions{DisableSuperset: true}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			task := &config.Task{
+				Tag:         "ovb-" + mode.name,
+				Source:      config.SourceFile,
+				DatasetPath: "/data/ovbench",
+				Sampling:    config.Sampling{VideosPerBatch: 2, FramesPerVideo: 4, FrameStride: 2, SamplesPerVideo: 1},
+				Stages: []config.Stage{
+					{
+						Name: "resize", Type: config.BranchSingle,
+						Inputs: []string{"frame"}, Outputs: []string{"base"},
+						Ops: []config.OpSpec{{Op: "resize", Params: map[string]any{"shape": []any{80, 80}}}},
+					},
+					{
+						Name: "views", Type: config.BranchMulti,
+						Inputs: []string{"base"}, Outputs: []string{"v0", "v1", "v2", "v3"},
+						Branches: []config.SubBranch{
+							{Ops: []config.OpSpec{crop(64, 64, 0, 0)}},
+							{Ops: []config.OpSpec{crop(64, 64, 16, 16)}},
+							{Ops: []config.OpSpec{crop(64, 64, 8, 0)}},
+							{Ops: []config.OpSpec{crop(64, 64, 0, 12)}},
+						},
+					},
+					{
+						Name: "join", Type: config.BranchMerge,
+						Inputs: []string{"v0", "v1", "v2", "v3"}, Outputs: []string{"merged"},
+					},
+				},
+			}
+			if err := task.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			s, err := New(Options{
+				Tasks:         []*config.Task{task},
+				Dataset:       ds,
+				ChunkEpochs:   2,
+				TotalEpochs:   2,
+				MemBudget:     64 << 20,
+				StorageBudget: 1, // prune store caching: isolate decode+augment
+				Workers:       4,
+				Coordinate:    true,
+				Seed:          5,
+				Reuse:         mode.reuse,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			samples, err := s.scheduleFor(iterationKey{task.Tag, 0, 0})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(samples) == 0 {
+				b.Fatal("no samples scheduled")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clip, err := s.materializeSampleClip(samples[i%len(samples)], 0, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if clip.Len() == 0 {
+					b.Fatal("empty clip")
+				}
+			}
+		})
+	}
+}

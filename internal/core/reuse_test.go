@@ -1,0 +1,311 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"sand/internal/codec"
+	"sand/internal/config"
+	"sand/internal/dataset"
+	"sand/internal/frame"
+)
+
+// TestCropRectMath pins the rectangle predicates the reuse planner is
+// built on: strict overlap (shared edges don't count, one shared pixel
+// does) and bounding-box union.
+func TestCropRectMath(t *testing.T) {
+	a := cropRect{0, 0, 32, 32}
+	cases := []struct {
+		b    cropRect
+		want bool
+	}{
+		{cropRect{16, 16, 32, 32}, true}, // plain overlap
+		{cropRect{31, 31, 33, 33}, true}, // exactly one shared pixel
+		{cropRect{32, 0, 16, 16}, false}, // shared vertical edge
+		{cropRect{0, 32, 16, 16}, false}, // shared horizontal edge
+		{cropRect{32, 32, 8, 8}, false},  // shared corner
+		{cropRect{40, 40, 8, 8}, false},  // disjoint
+		{cropRect{8, 8, 8, 8}, true},     // fully contained
+		{cropRect{0, 0, 32, 32}, true},   // identical
+		{cropRect{-8, -8, 9, 9}, true},   // 1-pixel overlap from the other corner
+	}
+	for _, tc := range cases {
+		if got := a.overlaps(tc.b); got != tc.want {
+			t.Errorf("overlaps(%v, %v) = %v, want %v", a, tc.b, got, tc.want)
+		}
+		if got := tc.b.overlaps(a); got != tc.want {
+			t.Errorf("overlaps not symmetric for %v, %v", a, tc.b)
+		}
+	}
+	u := a.union(cropRect{16, 24, 32, 32})
+	if u != (cropRect{0, 0, 48, 56}) {
+		t.Fatalf("union = %v, want {0 0 48 56}", u)
+	}
+	if u = a.union(cropRect{8, 8, 8, 8}); u != a {
+		t.Fatalf("union with contained rect = %v, want %v", u, a)
+	}
+}
+
+// overlapTask builds a resize -> multi(crop branches) -> merge pipeline:
+// several views of the same 64x64 intermediate, each a crop stage given
+// by op specs.
+func overlapTask(t testing.TB, tag string, branches []config.OpSpec) *config.Task {
+	t.Helper()
+	outs := make([]string, len(branches))
+	subs := make([]config.SubBranch, len(branches))
+	for i, spec := range branches {
+		outs[i] = fmt.Sprintf("v%d", i)
+		subs[i] = config.SubBranch{Ops: []config.OpSpec{spec}}
+	}
+	task := &config.Task{
+		Tag:         tag,
+		Source:      config.SourceFile,
+		DatasetPath: "/data/mini",
+		Sampling:    config.Sampling{VideosPerBatch: 2, FramesPerVideo: 4, FrameStride: 2, SamplesPerVideo: 1},
+		Stages: []config.Stage{
+			{
+				Name: "resize", Type: config.BranchSingle,
+				Inputs: []string{"frame"}, Outputs: []string{"base"},
+				Ops: []config.OpSpec{{Op: "resize", Params: map[string]any{"shape": []any{64, 64}}}},
+			},
+			{
+				Name: "views", Type: config.BranchMulti,
+				Inputs: []string{"base"}, Outputs: outs,
+				Branches: subs,
+			},
+			{
+				Name: "join", Type: config.BranchMerge,
+				Inputs: outs, Outputs: []string{"merged"},
+			},
+		},
+	}
+	if err := task.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func crop(h, w, x, y int) config.OpSpec {
+	return config.OpSpec{Op: "crop", Params: map[string]any{"shape": []any{h, w}, "x": x, "y": y}}
+}
+
+// buildReuseService starts a service with an effectively disabled object
+// store (StorageBudget 1) so every chain recomputes unless the reuse
+// layer shares work.
+func buildReuseService(t testing.TB, task *config.Task, ds *dataset.Dataset, workers int, reuse ReuseOptions) *Service {
+	t.Helper()
+	s, err := New(Options{
+		Tasks:         []*config.Task{task},
+		Dataset:       ds,
+		ChunkEpochs:   1,
+		TotalEpochs:   1,
+		MemBudget:     64 << 20,
+		StorageBudget: 1,
+		Workers:       workers,
+		Coordinate:    true,
+		Seed:          11,
+		Reuse:         reuse,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// serviceDigest materializes every iteration of epoch 0 and hashes all
+// output pixels in order.
+func serviceDigest(t testing.TB, s *Service, tag string) string {
+	t.Helper()
+	loader, err := s.NewLoader(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters, err := s.ItersPerEpoch(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	for it := 0; it < iters; it++ {
+		batch, _, err := loader.Next(0, it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, clip := range batch.Clips {
+			for _, f := range clip.Frames {
+				fmt.Fprintf(h, "%d:%dx%dx%d:", f.Index, f.W, f.H, f.C)
+				h.Write(f.Pix)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestSupersetByteIdentical: for fixed, centered and shared-origin
+// random crop views — including a 1-pixel overlap — the superset path
+// must produce byte-identical batches to the per-chain baseline, and
+// must actually fire.
+func TestSupersetByteIdentical(t *testing.T) {
+	ds := miniDataset(t, 4)
+	cases := []struct {
+		name     string
+		branches []config.OpSpec
+	}{
+		{"fixed", []config.OpSpec{crop(48, 48, 0, 0), crop(48, 48, 16, 16), crop(48, 48, 8, 0), crop(48, 48, 0, 8)}},
+		{"one-pixel", []config.OpSpec{crop(32, 32, 0, 0), crop(32, 32, 31, 31)}},
+		{"centered", []config.OpSpec{
+			{Op: "center_crop", Params: map[string]any{"shape": []any{48, 48}}},
+			crop(48, 48, 0, 0),
+		}},
+		{"random", []config.OpSpec{
+			{Op: "random_crop", Params: map[string]any{"shape": []any{48, 48}}},
+			{Op: "random_crop", Params: map[string]any{"shape": []any{48, 48}}},
+			{Op: "random_crop", Params: map[string]any{"shape": []any{48, 48}}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			task := overlapTask(t, "ov-"+tc.name, tc.branches)
+			on := buildReuseService(t, task, ds, 4, ReuseOptions{})
+			off := buildReuseService(t, task, ds, 4, ReuseOptions{DisableSuperset: true})
+			dOn := serviceDigest(t, on, task.Tag)
+			dOff := serviceDigest(t, off, task.Tag)
+			if dOn != dOff {
+				t.Fatalf("superset output differs from baseline (%s vs %s)", dOn[:12], dOff[:12])
+			}
+			rs := on.ReuseStats()
+			if tc.name != "random" && rs.SupersetHits == 0 {
+				t.Fatalf("superset never fired: %+v", rs)
+			}
+			if rsOff := off.ReuseStats(); rsOff.SupersetHits != 0 || rsOff.SupersetMisses != 0 {
+				t.Fatalf("disabled superset still ran: %+v", rsOff)
+			}
+		})
+	}
+}
+
+// TestDisjointWindowsNoReuse: windows with no common pixels (including
+// edge-adjacent ones) must not form a group — reuse is a no-op and the
+// output matches the baseline.
+func TestDisjointWindowsNoReuse(t *testing.T) {
+	ds := miniDataset(t, 4)
+	task := overlapTask(t, "disjoint", []config.OpSpec{
+		crop(16, 16, 0, 0), crop(16, 16, 48, 48), crop(16, 16, 16, 0),
+	})
+	on := buildReuseService(t, task, ds, 4, ReuseOptions{})
+	off := buildReuseService(t, task, ds, 4, ReuseOptions{DisableSuperset: true})
+	if d1, d2 := serviceDigest(t, on, task.Tag), serviceDigest(t, off, task.Tag); d1 != d2 {
+		t.Fatalf("disjoint-window output differs from baseline")
+	}
+	rs := on.ReuseStats()
+	if rs.SupersetHits != 0 || rs.SupersetMisses != 0 {
+		t.Fatalf("disjoint windows formed a reuse group: %+v", rs)
+	}
+}
+
+// TestSupersetSerialParallelIdentical: worker count must not leak into
+// output bytes when the superset path races on derived-frame publication
+// (first-in wins, all candidates identical).
+func TestSupersetSerialParallelIdentical(t *testing.T) {
+	ds := miniDataset(t, 4)
+	task := overlapTask(t, "serpar", []config.OpSpec{
+		crop(48, 48, 0, 0), crop(48, 48, 16, 16), crop(48, 48, 8, 4), crop(48, 48, 2, 12),
+	})
+	digests := map[string]string{}
+	for _, workers := range []int{1, 8} {
+		for _, reuse := range []ReuseOptions{{}, {DisableSuperset: true}} {
+			s := buildReuseService(t, task, ds, workers, reuse)
+			key := fmt.Sprintf("w%d-sup%v", workers, !reuse.DisableSuperset)
+			digests[key] = serviceDigest(t, s, task.Tag)
+		}
+	}
+	want := digests["w1-supfalse"]
+	for key, d := range digests {
+		if d != want {
+			t.Fatalf("digest %s differs from serial baseline (%v)", key, digests)
+		}
+	}
+}
+
+// staticMiniDataset builds videos whose frames are all identical — every
+// P-frame residual is zero, so the residual gate can skip aggressively
+// while staying exact.
+func staticMiniDataset(t testing.TB, n int) *dataset.Dataset {
+	t.Helper()
+	ds := &dataset.Dataset{Name: "static-mini"}
+	for i := 0; i < n; i++ {
+		base := frame.New(48, 48, 3)
+		for j := range base.Pix {
+			base.Pix[j] = byte((j*13 + i*37) % 251)
+		}
+		frames := make([]*frame.Frame, 40)
+		for fi := range frames {
+			g := base.Clone()
+			g.Index = fi
+			frames[fi] = g
+		}
+		clip, err := frame.NewClip(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := codec.Encode(clip, codec.EncodeParams{GOP: 10, FPS: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := dataset.VideoSpec{
+			Name: fmt.Sprintf("static_%04d", i),
+			W:    48, H: 48, C: 3, Frames: 40, FPS: 30, GOP: 10,
+			Label: "still",
+		}
+		ds.Videos = append(ds.Videos, dataset.Entry{Spec: spec, Video: v})
+	}
+	return ds
+}
+
+// TestResidualGateStaticVideo: on a perfectly static video the gate must
+// skip chain work for gap frames, and — because the source frames are
+// bit-identical — the output must still equal the ungated baseline.
+func TestResidualGateStaticVideo(t *testing.T) {
+	ds := staticMiniDataset(t, 4)
+	task := overlapTask(t, "gate", []config.OpSpec{
+		crop(48, 48, 0, 0), crop(48, 48, 16, 16),
+	})
+	gated := buildReuseService(t, task, ds, 4, ReuseOptions{ResidualGate: true})
+	plain := buildReuseService(t, task, ds, 4, ReuseOptions{})
+	dGated := serviceDigest(t, gated, task.Tag)
+	dPlain := serviceDigest(t, plain, task.Tag)
+	if dGated != dPlain {
+		t.Fatalf("gated output differs on a static video (%s vs %s)", dGated[:12], dPlain[:12])
+	}
+	rs := gated.ReuseStats()
+	if rs.ResidualChecked == 0 {
+		t.Fatal("gate never evaluated a frame")
+	}
+	if rs.ResidualSkipped == 0 {
+		t.Fatalf("gate skipped nothing on a static video: %+v", rs)
+	}
+	if p := plain.ReuseStats(); p.ResidualChecked != 0 || p.ResidualSkipped != 0 {
+		t.Fatalf("gate ran while disabled: %+v", p)
+	}
+}
+
+// TestResidualGateConservativeOnMotion: with a tiny threshold on moving
+// content the gate must decline every skip and reproduce the baseline
+// exactly — exact mode is simply the gate never firing.
+func TestResidualGateConservativeOnMotion(t *testing.T) {
+	ds := miniDataset(t, 2)
+	task := overlapTask(t, "gatemove", []config.OpSpec{
+		crop(48, 48, 0, 0), crop(48, 48, 16, 16),
+	})
+	gated := buildReuseService(t, task, ds, 1, ReuseOptions{ResidualGate: true, ResidualThreshold: 1e-9})
+	plain := buildReuseService(t, task, ds, 1, ReuseOptions{})
+	if d1, d2 := serviceDigest(t, gated, task.Tag), serviceDigest(t, plain, task.Tag); d1 != d2 {
+		t.Fatalf("near-zero-threshold gate changed output bytes")
+	}
+	rs := gated.ReuseStats()
+	if rs.ResidualSkipped != 0 {
+		t.Fatalf("gate skipped %d frames at threshold 1e-9 on moving video", rs.ResidualSkipped)
+	}
+}

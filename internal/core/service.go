@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"sand/internal/codec"
 	"sand/internal/config"
@@ -58,11 +59,35 @@ type Options struct {
 	// frames shared across samples). 0 defaults to MemBudget/4. The
 	// effective budget shrinks automatically under memory pressure.
 	GOPCacheBudget int64
+	// Reuse tunes the overlap-aware computation-reuse layer (superset
+	// crops and residual-gated augmentation). The zero value enables
+	// superset sharing — it is exact — and leaves residual gating off.
+	Reuse ReuseOptions
 	// Obs is the observability registry receiving the engine's traces,
 	// gauges and histograms. Nil uses obs.Default(), so binaries that
 	// never touch observability still aggregate into the process-wide
 	// registry.
 	Obs *obs.Registry
+}
+
+// ReuseOptions configures overlap-aware computation reuse.
+type ReuseOptions struct {
+	// DisableSuperset turns off superset-crop sharing: chains of one
+	// sample whose crop windows overlap normally decode and cache one
+	// bounding region and serve each view as a sub-slice of it. The
+	// optimization is exact (byte-identical output), so it is on by
+	// default; disabling it reproduces the per-chain baseline.
+	DisableSuperset bool
+	// ResidualGate enables residual-gated augmentation: frames whose
+	// accumulated codec residual stays below ResidualThreshold reuse the
+	// previous frame's augmented output instead of recomputing the chain.
+	// The gate is approximate (residuals are mod-256 magnitudes, not
+	// bounds), so it is opt-in; leave it off for bit-exact output.
+	ResidualGate bool
+	// ResidualThreshold is the per-tile mean residual magnitude (per
+	// pixel-sample) below which consecutive frames count as static.
+	// 0 with ResidualGate on defaults to 1.0.
+	ResidualThreshold float64
 }
 
 func (o *Options) normalize() error {
@@ -98,6 +123,9 @@ func (o *Options) normalize() error {
 	if o.GOPCacheBudget <= 0 {
 		o.GOPCacheBudget = o.MemBudget / 4
 	}
+	if o.Reuse.ResidualGate && o.Reuse.ResidualThreshold <= 0 {
+		o.Reuse.ResidualThreshold = 1.0
+	}
 	return nil
 }
 
@@ -118,9 +146,16 @@ type Service struct {
 	gops  *gopCache
 	fs    *vfs.FS
 
-	reg      *obs.Registry
-	tr       *obs.Tracer
-	histView *obs.Histogram // view-read latency (ns), demand + premat-hit
+	reg        *obs.Registry
+	tr         *obs.Tracer
+	histView   *obs.Histogram // view-read latency (ns), demand + premat-hit
+	histStatic *obs.Histogram // residual static-tile fraction per gated frame (basis points)
+
+	// reuse counters (atomic: bumped from intra-sample workers)
+	supersetHits    atomic.Int64 // views served from a shared superset region
+	supersetMisses  atomic.Int64 // superset regions computed fresh
+	residualChecked atomic.Int64 // frames tested against the residual gate
+	residualSkipped atomic.Int64 // frames that reused the previous output
 
 	mu sync.Mutex
 	// chunk state
@@ -210,7 +245,7 @@ func New(opts Options) (*Service, error) {
 	// shrink: feeding it the combined pressure (which includes its own
 	// bytes) would be a feedback loop. It must exist before the pool:
 	// workers sample memPressure, which reads it.
-	s.gops = newGOPCache(opts.GOPCacheBudget, st.MemPressure)
+	s.gops = newGOPCache(opts.GOPCacheBudget, st.MemPressure, opts.Reuse.ResidualGate)
 	s.gops.tr = s.tr
 	// The scheduler sees the engine's combined footprint (object store +
 	// decoded-GOP cache against the same budget), so the SJF switch
@@ -244,6 +279,18 @@ func New(opts Options) (*Service, error) {
 			"gop_evictions":      g.Evictions,
 			"gop_frames_decoded": g.FramesDecoded,
 			"gop_bytes":          g.Bytes,
+		}
+	})
+	s.histStatic = reg.Histogram("core.reuse.static_frac_bp")
+	reg.SnapshotFunc("core.reuse", func() map[string]int64 {
+		g := s.gops.stats()
+		return map[string]int64{
+			"superset_hits":           s.supersetHits.Load(),
+			"superset_misses":         s.supersetMisses.Load(),
+			"residual_frames_checked": s.residualChecked.Load(),
+			"residual_frames_skipped": s.residualSkipped.Load(),
+			"gop_readmissions":        g.Readmissions,
+			"derived_bytes":           g.DerivedBytes,
 		}
 	})
 	// Pool counters already carry dotted names ("frame.pool.gets"); the
@@ -315,10 +362,11 @@ func (s *Service) StoreStats() storage.Stats { return s.store.Stats() }
 
 // GOPCacheStats summarizes the decoded-GOP cache for reporting.
 type GOPCacheStats struct {
-	Hits, Misses, Extends, Evictions int64
-	FramesDecoded, BytesDecoded      int64
-	Bytes                            int64
-	Entries                          int
+	Hits, Misses, Extends, Evictions, Readmissions int64
+	FramesDecoded, BytesDecoded                    int64
+	DerivedHits, DerivedMisses, DerivedBytes       int64
+	Bytes                                          int64
+	Entries, Ghosts                                int
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any access.
@@ -345,10 +393,16 @@ func (s *Service) Counters() *metrics.CounterSet {
 	cs.Add("core.gop.misses", g.Misses)
 	cs.Add("core.gop.extends", g.Extends)
 	cs.Add("core.gop.evictions", g.Evictions)
+	cs.Add("core.gop.readmissions", g.Readmissions)
 	cs.Add("core.gop.frames_decoded", g.FramesDecoded)
 	cs.Add("core.gop.bytes_decoded", g.BytesDecoded)
 	cs.Add("core.gop.bytes", g.Bytes)
 	cs.Add("core.gop.entries", int64(g.Entries))
+	r := s.ReuseStats()
+	cs.Add("core.reuse.superset_hits", r.SupersetHits)
+	cs.Add("core.reuse.superset_misses", r.SupersetMisses)
+	cs.Add("core.reuse.residual_frames_checked", r.ResidualChecked)
+	cs.Add("core.reuse.residual_frames_skipped", r.ResidualSkipped)
 	for k, v := range frame.PoolStats() {
 		cs.Add(k, v)
 	}
@@ -356,6 +410,34 @@ func (s *Service) Counters() *metrics.CounterSet {
 		cs.Add(k, v)
 	}
 	return cs
+}
+
+// ReuseStats summarizes the overlap-aware computation-reuse layer.
+type ReuseStats struct {
+	// SupersetHits counts views served as sub-slices of a shared superset
+	// region; SupersetMisses counts superset regions computed fresh.
+	SupersetHits, SupersetMisses int64
+	// ResidualChecked counts frames tested against the residual gate;
+	// ResidualSkipped counts frames that reused the previous augmented
+	// output.
+	ResidualChecked, ResidualSkipped int64
+	// GOPReadmissions counts ghost-history readmissions in the GOP cache.
+	GOPReadmissions int64
+	// DerivedBytes is the cumulative footprint of cached superset frames.
+	DerivedBytes int64
+}
+
+// ReuseStats returns the computation-reuse counters.
+func (s *Service) ReuseStats() ReuseStats {
+	g := s.gops.stats()
+	return ReuseStats{
+		SupersetHits:    s.supersetHits.Load(),
+		SupersetMisses:  s.supersetMisses.Load(),
+		ResidualChecked: s.residualChecked.Load(),
+		ResidualSkipped: s.residualSkipped.Load(),
+		GOPReadmissions: g.Readmissions,
+		DerivedBytes:    g.DerivedBytes,
+	}
 }
 
 // SchedStats returns the scheduler's counters.

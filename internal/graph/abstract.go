@@ -277,7 +277,7 @@ func ResolveChains(task *config.Task, state config.TrainState, srcW, srcH int,
 				return fmt.Errorf("graph: op %s is stochastic but has no resolution rule", spec.Op)
 			}
 			ch.Ops = append(ch.Ops, ResolvedOp{Sig: op.Signature(), Op: op})
-			ch.w, ch.h, ch.c = opOutputGeometry(op, ch.w, ch.h, ch.c)
+			ch.w, ch.h, ch.c = OpOutputGeometry(op, ch.w, ch.h, ch.c)
 			return nil
 		}
 	}
@@ -402,6 +402,33 @@ func (j *resolvedJitter) Deterministic() bool { return true }
 // Apply implements augment.Op with the same LUT construction as
 // augment.ColorJitter but with fixed, pre-drawn factors.
 func (j *resolvedJitter) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, error) {
+	lut := j.lut()
+	out := make([]*frame.Frame, clip.Len())
+	for i, f := range clip.Frames {
+		g := frame.New(f.W, f.H, f.C)
+		g.Index, g.PTS = f.Index, f.PTS
+		for p, v := range f.Pix {
+			g.Pix[p] = lut[v]
+		}
+		out[i] = g
+	}
+	return frame.NewClip(out)
+}
+
+// ApplyInPlace implements augment.InPlacer: the pre-drawn LUT is applied
+// to the frames' own buffers.
+func (j *resolvedJitter) ApplyInPlace(clip *frame.Clip, _ *rand.Rand) (bool, error) {
+	lut := j.lut()
+	for _, f := range clip.Frames {
+		for p, v := range f.Pix {
+			f.Pix[p] = lut[v]
+		}
+	}
+	return true, nil
+}
+
+// lut builds the jitter lookup table for the resolved factors.
+func (j *resolvedJitter) lut() []byte {
 	lut := make([]byte, 256)
 	for i := range lut {
 		v := (float64(i)-128)*j.contrast + 128
@@ -413,14 +440,5 @@ func (j *resolvedJitter) Apply(clip *frame.Clip, _ *rand.Rand) (*frame.Clip, err
 		}
 		lut[i] = byte(v)
 	}
-	out := make([]*frame.Frame, clip.Len())
-	for i, f := range clip.Frames {
-		g := frame.New(f.W, f.H, f.C)
-		g.Index, g.PTS = f.Index, f.PTS
-		for p, v := range f.Pix {
-			g.Pix[p] = lut[v]
-		}
-		out[i] = g
-	}
-	return frame.NewClip(out)
+	return lut
 }

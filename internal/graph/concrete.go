@@ -227,7 +227,7 @@ func (g *ConcreteGraph) AugChain(frameNode *Node, ops []ResolvedOp, cm *CostMode
 		} else {
 			sig = sig + "|" + rop.Sig
 		}
-		w, h, c = opOutputGeometry(rop.Op, w, h, c)
+		w, h, c = OpOutputGeometry(rop.Op, w, h, c)
 		key := fmt.Sprintf("%d/%s", frameNode.FrameIdx, sig)
 		if n, ok := g.augIndex[key]; ok {
 			cur = n
@@ -247,8 +247,11 @@ func (g *ConcreteGraph) AugChain(frameNode *Node, ops []ResolvedOp, cm *CostMode
 	return cur, nil
 }
 
-// opOutputGeometry tracks geometry through an op.
-func opOutputGeometry(op augment.Op, w, h, c int) (int, int, int) {
+// OpOutputGeometry tracks geometry through an op: given a w x h x c input
+// it returns the op's output geometry. The planner uses it while building
+// concrete graphs; the engine's reuse layer uses it to locate the source
+// geometry entering each crop.
+func OpOutputGeometry(op augment.Op, w, h, c int) (int, int, int) {
 	switch o := op.(type) {
 	case *augment.Resize:
 		return o.W, o.H, c

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Overlap-aware reuse benchmark harness: runs BenchmarkOverlappingViews
+# with the superset-crop path enabled ("reuse") and disabled ("off") and
+# writes BENCH_reuse.json at the repo root with ns/op, B/op, allocs/op
+# per arm plus the speedup. The reuse rewrite is exact (byte-identical
+# output, asserted by TestSupersetByteIdentical and the check.sh smoke),
+# so the speedup is free accuracy-wise; the gate below fails the run if
+# it ever regresses under 1.5x.
+#
+# Usage: scripts/bench_reuse.sh [benchtime]   (default 200x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-200x}"
+OUT="BENCH_reuse.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== go test -bench (overlapping views, -benchtime=$BENCHTIME)"
+go test -run=xxx -bench='BenchmarkOverlappingViews' -benchmem -benchtime="$BENCHTIME" ./internal/core/ | tee "$TMP"
+
+awk '
+/^BenchmarkOverlappingViews\/reuse/  { rns = $3; rb = $5; ra = $7 }
+/^BenchmarkOverlappingViews\/off/    { ons = $3; ob = $5; oa = $7 }
+END {
+  if (rns == "" || ons == "") { print "bench_reuse: missing benchmark output" > "/dev/stderr"; exit 1 }
+  speedup = ons / rns
+  printf "{\n"
+  printf "  \"benchmark\": \"BenchmarkOverlappingViews\",\n"
+  printf "  \"reuse\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", rns, rb, ra
+  printf "  \"off\":   {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", ons, ob, oa
+  printf "  \"speedup\": %.2f\n", speedup
+  printf "}\n"
+  if (speedup < 1.5) { printf "bench_reuse: speedup %.2fx below the 1.5x floor\n", speedup > "/dev/stderr"; exit 1 }
+}
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
+cat "$OUT"
