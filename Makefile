@@ -42,4 +42,9 @@ trace-smoke:
 fleet-smoke:
 	./scripts/fleet_smoke.sh
 
-.PHONY: check test fuzz bench bench-storage bench-dataplane bench-reuse trace-smoke fleet-smoke
+# Run the scenario corpus twice and fail unless the JSON reports are
+# byte-identical across runs (see SCENARIOS.md).
+scenarios:
+	./scripts/scenario_smoke.sh
+
+.PHONY: check test fuzz bench bench-storage bench-dataplane bench-reuse trace-smoke fleet-smoke scenarios

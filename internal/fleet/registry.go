@@ -37,8 +37,15 @@ type RegistryOptions struct {
 	// SuspectAfter/2). Deadlines are additionally checked on every read,
 	// so sweeps only matter for push-style consumers.
 	SweepEvery time.Duration
-	// Now overrides the clock (tests). Default time.Now.
+	// Now overrides the clock (tests, simulated fleets). Default
+	// time.Now.
 	Now func() time.Time
+	// DisableSweeper skips the background deadline-sweeper goroutine.
+	// Deadlines are still applied on every read, so state queries stay
+	// exact — only push-style consumers lose proactive transitions. The
+	// scenario harness sets this when Now is a virtual clock: with no
+	// real-time ticker the registry becomes fully deterministic.
+	DisableSweeper bool
 	// Obs receives fleet gauges (node counts by state). Nil disables.
 	Obs *obs.Registry
 }
@@ -103,6 +110,9 @@ func NewRegistry(opts RegistryOptions) *Registry {
 			}
 			return out
 		})
+	}
+	if opts.DisableSweeper {
+		return r
 	}
 	r.sweeping.Add(1)
 	go func() {

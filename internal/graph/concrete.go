@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"sand/internal/augment"
 	"sand/internal/config"
@@ -353,14 +354,21 @@ func (g *ConcreteGraph) RecomputeCost() float64 {
 
 // MaterializationCost is the one-time work to build the cached frontier:
 // every edge on a path from the root to a cached node runs exactly once.
+// Summed in tree order, not map order, so the float result is identical
+// across runs.
 func (g *ConcreteGraph) MaterializationCost() float64 {
 	above := g.markAboveFrontier()
 	var sum float64
-	for n := range above {
-		if n.Kind != KindVideo {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if above[n] && n.Kind != KindVideo {
 			sum += n.EdgeCost
 		}
+		for _, c := range n.Children {
+			walk(c)
+		}
 	}
+	walk(g.Root)
 	return sum
 }
 
@@ -627,10 +635,27 @@ func (p *ChunkPlan) TotalCachedBytes() int64 {
 	return sum
 }
 
+// SortedGraphs returns the per-video graphs in video-name order. Float
+// cost sums must accumulate in this order: map iteration order varies
+// run to run, and with it the last-ulp rounding of the sums — which
+// would leak run-to-run jitter into otherwise deterministic simulations.
+func (p *ChunkPlan) SortedGraphs() []*ConcreteGraph {
+	names := make([]string, 0, len(p.Graphs))
+	for name := range p.Graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*ConcreteGraph, len(names))
+	for i, name := range names {
+		out[i] = p.Graphs[name]
+	}
+	return out
+}
+
 // TotalRecomputeCost sums recompute cost across all per-video graphs.
 func (p *ChunkPlan) TotalRecomputeCost() float64 {
 	var sum float64
-	for _, g := range p.Graphs {
+	for _, g := range p.SortedGraphs() {
 		sum += g.RecomputeCost()
 	}
 	return sum
@@ -684,7 +709,7 @@ func lastOpName(sig string) string {
 // The trainsim package uses it to align the planner's implicit decode
 // share with each workload's calibrated DecodeFrac.
 func (p *ChunkPlan) CostBreakdown() (decode, aug float64) {
-	for _, g := range p.Graphs {
+	for _, g := range p.SortedGraphs() {
 		var walk func(n *Node)
 		walk = func(n *Node) {
 			switch n.Kind {
@@ -706,7 +731,7 @@ func (p *ChunkPlan) CostBreakdown() (decode, aug float64) {
 // work counting each shared node exactly once — the execution count under
 // SAND's reuse, as opposed to CostBreakdown's per-use accounting.
 func (p *ChunkPlan) CostBreakdownOnce() (decode, aug float64) {
-	for _, g := range p.Graphs {
+	for _, g := range p.SortedGraphs() {
 		var walk func(n *Node)
 		walk = func(n *Node) {
 			switch n.Kind {

@@ -1,0 +1,92 @@
+package obs
+
+import "strings"
+
+// This file is the assertion-facing read side of the registry: a gathered
+// Snapshot whose values are addressable by dotted name, with histogram
+// quantiles expanded into queryable scalar keys. The scenario harness
+// evaluates its `assert:` expressions against these snapshots.
+
+// Snapshot is a point-in-time flattening of a registry gather: every
+// counter, gauge and snapshot value under its metric name, and every
+// histogram expanded into derived scalars. For a histogram named
+// "<base>_ns" the keys are
+//
+//	<base>.count      observation count
+//	<base>.p50_ms     50th percentile, milliseconds
+//	<base>.p90_ms     90th percentile, milliseconds
+//	<base>.p99_ms     99th percentile, milliseconds
+//	<base>.max_ms     maximum, milliseconds
+//	<base>.mean_ms    mean, milliseconds
+//
+// (histograms not following the "_ns" suffix convention expand under
+// their literal name with the same derived keys, unscaled).
+type Snapshot struct {
+	values map[string]float64
+}
+
+// Snapshot gathers the registry into a queryable snapshot. A nil
+// registry yields an empty (but usable) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{values: map[string]float64{}}
+	for _, sample := range r.Gather() {
+		if sample.Kind != "histogram" {
+			s.values[sample.Name] = sample.Value
+			continue
+		}
+		h := sample.Hist
+		base := sample.Name
+		scale := 1.0
+		if strings.HasSuffix(base, "_ns") {
+			base = strings.TrimSuffix(base, "_ns")
+			scale = 1e-6 // ns -> ms
+		}
+		s.values[base+".count"] = float64(h.Count)
+		s.values[base+".p50_ms"] = h.Quantile(0.50) * scale
+		s.values[base+".p90_ms"] = h.Quantile(0.90) * scale
+		s.values[base+".p99_ms"] = h.Quantile(0.99) * scale
+		s.values[base+".max_ms"] = float64(h.Max) * scale
+		mean := 0.0
+		if h.Count > 0 {
+			mean = float64(h.Sum) / float64(h.Count)
+		}
+		s.values[base+".mean_ms"] = mean * scale
+	}
+	return s
+}
+
+// Get resolves a dotted metric name against the snapshot.
+func (s *Snapshot) Get(name string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	v, ok := s.values[name]
+	return v, ok
+}
+
+// Set inserts (or overrides) a value — callers layer computed metrics
+// (fleet state counts, scenario aliases) over the gathered ones.
+func (s *Snapshot) Set(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.values[name] = v
+}
+
+// Names returns every queryable key (unsorted; callers sort for output).
+func (s *Snapshot) Names() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.values))
+	for k := range s.values {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Query gathers the registry and resolves one name — the one-shot form
+// of Snapshot().Get(name).
+func (r *Registry) Query(name string) (float64, bool) {
+	return r.Snapshot().Get(name)
+}

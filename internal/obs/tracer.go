@@ -123,6 +123,17 @@ func (t *Tracer) Instant(cat, name string, tr TraceID, arg string) {
 	t.emit(Event{TS: t.Now(), Cat: cat, Name: name, Arg: arg, Trace: tr})
 }
 
+// InstantAt records a zero-duration event at an explicit timestamp
+// (nanoseconds since the tracer epoch). Virtual-time emitters — the
+// scenario harness runs on a simulated clock — use this so their flight
+// records are deterministic instead of wall-clock-stamped.
+func (t *Tracer) InstantAt(cat, name string, tr TraceID, tsNS int64, arg string) {
+	if !t.Enabled() {
+		return
+	}
+	t.emit(Event{TS: tsNS, Cat: cat, Name: name, Arg: arg, Trace: tr})
+}
+
 // Span records a completed span that began at startNS (a prior Now
 // value) and ends now.
 func (t *Tracer) Span(cat, name string, tr TraceID, startNS int64, arg string) {

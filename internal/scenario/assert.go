@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sand/internal/obs"
+)
+
+// compiledExpr is one parsed assertion: "metric op value" with a
+// numeric comparison, or a bare metric name treated as a boolean
+// (true iff the metric is nonzero).
+type compiledExpr struct {
+	Metric string
+	Op     string // "" for bare boolean form
+	Value  float64
+}
+
+// compileExpr parses an assertion expression. Supported forms:
+//
+//	demand_p99_ms < 40
+//	nodes.dead == 1
+//	bytes_identical_to_baseline
+//
+// Operators: < <= > >= == !=. Values may be numbers or true/false.
+func compileExpr(expr string) (*compiledExpr, error) {
+	fields := strings.Fields(expr)
+	switch len(fields) {
+	case 1:
+		return &compiledExpr{Metric: fields[0]}, nil
+	case 3:
+		switch fields[1] {
+		case "<", "<=", ">", ">=", "==", "!=":
+		default:
+			return nil, fmt.Errorf("bad operator %q in %q (want < <= > >= == !=)", fields[1], expr)
+		}
+		v, err := parseValue(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q in %q", fields[2], expr)
+		}
+		return &compiledExpr{Metric: fields[0], Op: fields[1], Value: v}, nil
+	default:
+		return nil, fmt.Errorf("bad assertion %q (want \"metric op value\" or a bare metric name)", expr)
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "true":
+		return 1, nil
+	case "false":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Eval resolves the expression against a snapshot. A missing metric is
+// an error, not a false — it usually means a typo in the scenario file.
+func (e *compiledExpr) Eval(snap *obs.Snapshot) (ok bool, observed float64, err error) {
+	v, found := snap.Get(e.Metric)
+	if !found {
+		return false, 0, fmt.Errorf("unknown metric %q", e.Metric)
+	}
+	switch e.Op {
+	case "":
+		return v != 0, v, nil
+	case "<":
+		return v < e.Value, v, nil
+	case "<=":
+		return v <= e.Value, v, nil
+	case ">":
+		return v > e.Value, v, nil
+	case ">=":
+		return v >= e.Value, v, nil
+	case "==":
+		return v == e.Value, v, nil
+	case "!=":
+		return v != e.Value, v, nil
+	}
+	return false, v, fmt.Errorf("bad operator %q", e.Op)
+}

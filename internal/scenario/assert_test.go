@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"sand/internal/obs"
+)
+
+func snap(values map[string]float64) *obs.Snapshot {
+	s := (*obs.Registry)(nil).Snapshot()
+	for k, v := range values {
+		s.Set(k, v)
+	}
+	return s
+}
+
+func TestCompileExprForms(t *testing.T) {
+	e, err := compileExpr("demand_p99_ms < 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Metric != "demand_p99_ms" || e.Op != "<" || e.Value != 40 {
+		t.Fatalf("compiled: %+v", e)
+	}
+
+	e, err = compileExpr("bytes_identical_to_baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Op != "" {
+		t.Fatalf("bare form compiled with op: %+v", e)
+	}
+
+	e, err = compileExpr("flag == true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Value != 1 {
+		t.Fatalf("true should compile to 1, got %v", e.Value)
+	}
+	e, err = compileExpr("flag != false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Value != 0 {
+		t.Fatalf("false should compile to 0, got %v", e.Value)
+	}
+
+	for _, bad := range []string{"", "a b", "a b c d", "a ~ 1", "a == what"} {
+		if _, err := compileExpr(bad); err == nil {
+			t.Errorf("compileExpr(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEvalOperators(t *testing.T) {
+	s := snap(map[string]float64{"m": 3})
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"m < 4", true}, {"m < 3", false},
+		{"m <= 3", true}, {"m <= 2", false},
+		{"m > 2", true}, {"m > 3", false},
+		{"m >= 3", true}, {"m >= 4", false},
+		{"m == 3", true}, {"m == 2", false},
+		{"m != 2", true}, {"m != 3", false},
+		{"m", true},
+	}
+	for _, tc := range cases {
+		e, err := compileExpr(tc.expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, observed, err := e.Eval(s)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.expr, err)
+		}
+		if ok != tc.want || observed != 3 {
+			t.Errorf("%s: ok=%v observed=%v, want ok=%v observed=3", tc.expr, ok, observed, tc.want)
+		}
+	}
+
+	zero, _ := compileExpr("z")
+	if ok, _, err := zero.Eval(snap(map[string]float64{"z": 0})); err != nil || ok {
+		t.Fatalf("bare zero metric must be false, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestEvalMissingMetricIsError(t *testing.T) {
+	e, _ := compileExpr("nodes.deda == 1") // typo'd metric
+	_, _, err := e.Eval(snap(map[string]float64{"nodes.dead": 1}))
+	if err == nil || !strings.Contains(err.Error(), "unknown metric") {
+		t.Fatalf("want unknown-metric error, got %v", err)
+	}
+}

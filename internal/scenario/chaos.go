@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// injection is one pre-generated chaos fault: node goes down (or slow)
+// at At and comes back RecoverAfter virtual seconds later.
+type injection struct {
+	At           float64
+	Node         string
+	Kind         string // kill_node | partition | slow_disk
+	RecoverAfter float64
+}
+
+// chaosTimeline pre-generates the complete fault schedule from the
+// scenario seed before the clock starts. Each node draws from its own
+// RNG (derived from the scenario seed and the node's index), so the
+// timeline — and therefore the whole run — replays exactly from the
+// seed, and adding a node does not shift every other node's draws.
+//
+// Arrivals are Poisson with rate FailureRate per node per virtual
+// minute; recovery delays are Normal(RecoveryMean, RecoveryStddev)
+// floored at 0.1s. A node draws its next failure only after the
+// previous one's recovery completes.
+func chaosTimeline(c *Chaos, ids []string, seed int64, horizon float64) []injection {
+	if c == nil || !c.Enabled {
+		return nil
+	}
+	kinds := c.Kinds
+	if len(kinds) == 0 {
+		kinds = []string{"kill_node", "partition", "slow_disk"}
+	}
+	recMean := c.RecoveryMean
+	if recMean <= 0 {
+		recMean = 10
+	}
+	recStddev := c.RecoveryStddev
+	if recStddev < 0 {
+		recStddev = 0
+	}
+	if c.RecoveryStddev == 0 {
+		recStddev = 3
+	}
+	meanGap := 60 / c.FailureRate
+
+	var out []injection
+	for i, id := range ids {
+		rng := rand.New(rand.NewSource(seed*1_000_003 + int64(i)*7919 + 1))
+		t := 0.0
+		for {
+			t += rng.ExpFloat64() * meanGap
+			if t >= horizon {
+				break
+			}
+			rec := rng.NormFloat64()*recStddev + recMean
+			if rec < 0.1 {
+				rec = 0.1
+			}
+			out = append(out, injection{
+				At:           t,
+				Node:         id,
+				Kind:         kinds[rng.Intn(len(kinds))],
+				RecoverAfter: rec,
+			})
+			t += rec
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].At != out[b].At {
+			return out[a].At < out[b].At
+		}
+		return out[a].Node < out[b].Node
+	})
+	return out
+}

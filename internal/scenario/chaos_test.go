@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func testChaos() *Chaos {
+	return &Chaos{Enabled: true, FailureRate: 2, RecoveryMean: 5, RecoveryStddev: 2}
+}
+
+func ids(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('a' + i))
+	}
+	return out
+}
+
+func TestChaosTimelineReplaysFromSeed(t *testing.T) {
+	a := chaosTimeline(testChaos(), ids(8), 41, 120)
+	b := chaosTimeline(testChaos(), ids(8), 41, 120)
+	if len(a) == 0 {
+		t.Fatal("no injections generated")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different timelines")
+	}
+	c := chaosTimeline(testChaos(), ids(8), 42, 120)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical timelines")
+	}
+}
+
+func TestChaosTimelineSortedAndBounded(t *testing.T) {
+	tl := chaosTimeline(testChaos(), ids(8), 7, 60)
+	if !sort.SliceIsSorted(tl, func(i, j int) bool {
+		if tl[i].At != tl[j].At {
+			return tl[i].At < tl[j].At
+		}
+		return tl[i].Node < tl[j].Node
+	}) {
+		t.Fatal("timeline not sorted by (At, Node)")
+	}
+	for _, inj := range tl {
+		if inj.At < 0 || inj.At >= 60 {
+			t.Fatalf("injection outside horizon: %+v", inj)
+		}
+		if inj.RecoverAfter < 0.1 {
+			t.Fatalf("recovery below 0.1s floor: %+v", inj)
+		}
+		switch inj.Kind {
+		case "kill_node", "partition", "slow_disk":
+		default:
+			t.Fatalf("unexpected kind: %+v", inj)
+		}
+	}
+}
+
+// Per-node RNG streams: growing the fleet must not shift the draws of
+// existing nodes, so scaling a scenario up preserves the faults it
+// already had.
+func TestChaosTimelinePerNodeStreams(t *testing.T) {
+	small := chaosTimeline(testChaos(), ids(2), 13, 90)
+	large := chaosTimeline(testChaos(), ids(5), 13, 90)
+	keep := large[:0:0]
+	for _, inj := range large {
+		if inj.Node == "a" || inj.Node == "b" {
+			keep = append(keep, inj)
+		}
+	}
+	if !reflect.DeepEqual(small, keep) {
+		t.Fatalf("adding nodes changed existing nodes' faults:\nsmall: %+v\nlarge subset: %+v", small, keep)
+	}
+}
+
+func TestChaosTimelineRespectsKinds(t *testing.T) {
+	c := testChaos()
+	c.Kinds = []string{"partition"}
+	for _, inj := range chaosTimeline(c, ids(6), 3, 120) {
+		if inj.Kind != "partition" {
+			t.Fatalf("kind restriction violated: %+v", inj)
+		}
+	}
+}
+
+func TestChaosTimelineDisabled(t *testing.T) {
+	if tl := chaosTimeline(nil, ids(3), 1, 60); tl != nil {
+		t.Fatalf("nil chaos produced %v", tl)
+	}
+	c := testChaos()
+	c.Enabled = false
+	if tl := chaosTimeline(c, ids(3), 1, 60); tl != nil {
+		t.Fatalf("disabled chaos produced %v", tl)
+	}
+}

@@ -1,0 +1,26 @@
+// Package scenario is the YAML-driven scenario and chaos harness: it
+// loads declarative scenario files (a fleet, a workload, timed fault
+// events, seeded random chaos, and metric assertions) and executes them
+// in one of two modes.
+//
+// Sim mode drives the whole stack on a single simclock virtual clock: a
+// real fleet.Registry with a virtual time source tracks hundreds or
+// thousands of simulated nodes whose heartbeats, failures and recoveries
+// are ordinary simulator events, while an optional trainsim workload
+// shares the same clock through trainsim.Hooks. Everything is
+// deterministic: the same scenario file and seed produce the same JSON
+// report, byte for byte.
+//
+// Cluster mode runs real engines — N core.Service nodes behind view
+// servers and an in-process registry, read through fleet routers by
+// DDP-style workers — and verifies that every batch served through the
+// fleet is byte-identical to a single-node baseline, across injected
+// node deaths and drains.
+//
+// Assertions are expressions like "demand_p99_ms < 40" or
+// "bytes_identical_to_baseline", evaluated against obs metric snapshots
+// at declared virtual times or at the end of the run. On failure the
+// harness dumps its trace ring as a Chrome trace next to the JSON
+// report. See SCENARIOS.md at the repo root for the authoring guide and
+// cmd/sandsim for the CLI.
+package scenario

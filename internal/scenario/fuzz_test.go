@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse throws arbitrary documents at the parser. The seed corpus
+// is the shipped scenario files plus hand-written edge cases; the
+// property under test is simply that Parse never panics — it must
+// return an error for anything it cannot turn into a valid Scenario.
+func FuzzParse(f *testing.F) {
+	files, _ := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	for _, path := range files {
+		if src, err := os.ReadFile(path); err == nil {
+			f.Add(src)
+		}
+	}
+	f.Add([]byte(killRecoverDoc))
+	f.Add([]byte(fullSimDoc))
+	f.Add([]byte(fullClusterDoc))
+	for _, s := range []string{
+		"",
+		"name",
+		"name: x",
+		"- just\n- a\n- list",
+		"name: x\nfleet:\n  nodes: [a, b]\n",
+		"name: x\nfleet:\n  nodes:\n    - id: [nested]\n",
+		"events:\n  - at: -5s\n    action: kill_node\n",
+		"assertions:\n  - assert: \"x == \\u0000\"\n",
+		"name: \"x\nduration: 1s",
+		"name: x\nduration: 9223372036854775808\n",
+		"name: x\nseed: -1\nfleet:\n  generate:\n    count: 2\n    templates:\n      - weight: 1\n",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		sc, err := Parse(src)
+		if err == nil {
+			// Anything Parse accepts must survive re-validation.
+			if sc == nil {
+				t.Fatal("nil scenario with nil error")
+			}
+			if err := sc.Validate(); err != nil {
+				t.Fatalf("Parse accepted a scenario Validate rejects: %v", err)
+			}
+		}
+	})
+}

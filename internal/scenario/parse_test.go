@@ -1,0 +1,410 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sand/internal/trainsim"
+)
+
+// fullSimDoc exercises every sim-mode schema field at once; the
+// round-trip test below checks each parsed value, so a schema field that
+// silently stops parsing fails here.
+const fullSimDoc = `
+# comments are ignored
+name: full_sim
+description: exercises every sim-mode field
+seed: 99
+duration: 20s
+
+fleet:
+  heartbeat_every: 250ms
+  suspect_after: 1s
+  dead_after: 4s
+  nodes:
+    - id: node-0
+      capacity: 4
+    - id: node-1
+  generate:
+    count: 3
+    prefix: gen-
+    templates:
+      - name: big
+        weight: 1
+        capacity: 8
+      - name: small
+        weight: 3
+
+workload:
+  pipeline: sand
+  model: slowfast
+  jobs: 2
+  epochs: 4
+  iters_per_epoch: 10
+  chunk_epochs: 2
+  shared_dataset: true
+  remote_storage: true
+
+events:
+  - at: 1s
+    action: kill_node
+    target: node-1
+  - at: 2s
+    action: recover_node
+    target: node-1
+  - at: 3s
+    action: slow_disk
+    targets: [node-0, gen-0000]
+    factor: 2.5
+    duration: 4s
+  - at: 5s
+    action: partition
+    target: gen-0001
+    duration: 2s
+  - at: 6s
+    action: drain_node
+    target: gen-0002
+  - at: 7s
+    action: forget_node
+    target: gen-0002
+
+chaos:
+  enabled: true
+  failure_rate: 0.25
+  recovery_mean: 5s
+  recovery_stddev: 1s
+  kinds: [kill_node]
+  slow_factor: 6
+
+assertions:
+  - at: 10s
+    assert: nodes.healthy >= 1
+  - at: end
+    assert: events.fired == 6
+  - at_end: true
+    assert: fleet.reannounces
+`
+
+func TestParseFullSimSchema(t *testing.T) {
+	sc, err := Parse([]byte(fullSimDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "full_sim" || sc.Seed != 99 || sc.Duration != 20 {
+		t.Fatalf("header mismatch: %+v", sc)
+	}
+	if sc.Kind() != "sim" {
+		t.Fatalf("kind = %q, want sim", sc.Kind())
+	}
+
+	f := sc.Fleet
+	if f == nil {
+		t.Fatal("fleet not parsed")
+	}
+	if f.HeartbeatEvery != 0.25 || f.SuspectAfter != 1 || f.DeadAfter != 4 {
+		t.Fatalf("fleet timings: %+v", f)
+	}
+	if len(f.Nodes) != 2 || f.Nodes[0].ID != "node-0" || f.Nodes[0].Capacity != 4 || f.Nodes[1].ID != "node-1" {
+		t.Fatalf("fleet nodes: %+v", f.Nodes)
+	}
+	g := f.Generate
+	if g == nil || g.Count != 3 || g.Prefix != "gen-" || len(g.Templates) != 2 {
+		t.Fatalf("generate: %+v", g)
+	}
+	if g.Templates[0] != (Template{Name: "big", Weight: 1, Capacity: 8}) ||
+		g.Templates[1] != (Template{Name: "small", Weight: 3}) {
+		t.Fatalf("templates: %+v", g.Templates)
+	}
+	ids := f.NodeIDs()
+	want := []string{"node-0", "node-1", "gen-0000", "gen-0001", "gen-0002"}
+	if len(ids) != len(want) {
+		t.Fatalf("NodeIDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("NodeIDs[%d] = %q, want %q", i, ids[i], want[i])
+		}
+	}
+
+	w := sc.Workload
+	if w == nil {
+		t.Fatal("workload not parsed")
+	}
+	if w.Pipeline != trainsim.SAND || w.PipelineName != "sand" || w.Model != "slowfast" {
+		t.Fatalf("workload pipeline: %+v", w)
+	}
+	if w.Jobs != 2 || w.Epochs != 4 || w.ItersPerEpoch != 10 || w.ChunkEpochs != 2 ||
+		!w.SharedDataset || !w.RemoteStorage {
+		t.Fatalf("workload knobs: %+v", w)
+	}
+
+	if len(sc.Events) != 6 {
+		t.Fatalf("events: %+v", sc.Events)
+	}
+	e := sc.Events[2]
+	if e.Action != ActionSlowDisk || e.At != 3 || e.Factor != 2.5 || e.Duration != 4 ||
+		len(e.Targets) != 2 || e.Targets[0] != "node-0" || e.Targets[1] != "gen-0000" {
+		t.Fatalf("slow_disk event: %+v", e)
+	}
+	if sc.Events[3].Action != ActionPartition || sc.Events[3].Duration != 2 {
+		t.Fatalf("partition event: %+v", sc.Events[3])
+	}
+	if sc.Events[0].AtStep != -1 {
+		t.Fatalf("sim event AtStep = %d, want -1 sentinel", sc.Events[0].AtStep)
+	}
+
+	c := sc.Chaos
+	if c == nil || !c.Enabled || c.FailureRate != 0.25 || c.RecoveryMean != 5 ||
+		c.RecoveryStddev != 1 || c.SlowFactor != 6 ||
+		len(c.Kinds) != 1 || c.Kinds[0] != "kill_node" {
+		t.Fatalf("chaos: %+v", c)
+	}
+
+	a := sc.Assertions
+	if len(a) != 3 {
+		t.Fatalf("assertions: %+v", a)
+	}
+	if a[0].At != 10 || a[0].AtEnd || a[0].Expr != "nodes.healthy >= 1" {
+		t.Fatalf("assertions[0]: %+v", a[0])
+	}
+	// "at: end" is sugar for at_end: true.
+	if !a[1].AtEnd || !a[2].AtEnd {
+		t.Fatalf("at_end sugar: %+v", a[1:])
+	}
+}
+
+const fullClusterDoc = `
+name: full_cluster
+seed: 5
+cluster:
+  nodes: 4
+  workers: 2
+  epochs: 3
+  chunk_epochs: 2
+  videos: 12
+  read_ahead: 2
+  mem_budget_mb: 64
+  compare_baseline: false
+events:
+  - at_step: 2
+    action: kill_node
+    target: node3
+  - at_step: 5
+    action: drain_node
+    target: node1
+assertions:
+  - at_end: true
+    assert: cluster.batches > 0
+    within: 2s
+`
+
+func TestParseFullClusterSchema(t *testing.T) {
+	sc, err := Parse([]byte(fullClusterDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Kind() != "cluster" {
+		t.Fatalf("kind = %q, want cluster", sc.Kind())
+	}
+	c := sc.Cluster
+	if c.Nodes != 4 || c.Workers != 2 || c.Epochs != 3 || c.ChunkEpochs != 2 ||
+		c.Videos != 12 || c.ReadAhead != 2 || c.MemBudgetMB != 64 {
+		t.Fatalf("cluster: %+v", c)
+	}
+	if c.CompareBaseline == nil || *c.CompareBaseline || c.compareBaseline() {
+		t.Fatalf("compare_baseline not parsed as explicit false: %+v", c.CompareBaseline)
+	}
+	if (&Cluster{}).compareBaseline() != true {
+		t.Fatal("compare_baseline must default to true")
+	}
+	if sc.Events[0].AtStep != 2 || sc.Events[0].Target != "node3" {
+		t.Fatalf("cluster event: %+v", sc.Events[0])
+	}
+	if sc.Assertions[0].Within != 2 {
+		t.Fatalf("within: %+v", sc.Assertions[0])
+	}
+}
+
+// minimal wraps an events/assertions fragment in an otherwise valid sim
+// scenario so error tests only state what they test.
+func minimal(fragment string) string {
+	return `
+name: t
+fleet:
+  nodes:
+    - id: n0
+    - id: n1
+` + fragment
+}
+
+const okAssert = `
+assertions:
+  - at_end: true
+    assert: events.fired >= 0
+`
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the error; "" = any error
+	}{
+		{"list document", "- a\n- b\n", "must be a map"},
+		{"unknown top-level key", "name: x\nbogus: 1\n" + okAssert, `unknown key "bogus"`},
+		{"unknown fleet key", minimal("  beat: 1s\n" + okAssert), `unknown key "beat"`},
+		{"missing name", "fleet:\n  nodes:\n    - id: n0\n" + okAssert, "name is required"},
+		{"no fleet in sim mode", "name: x\n" + okAssert, "needs a fleet section"},
+		{"no assertions", minimal(""), "at least one assertion"},
+		{"empty node id", "name: x\nfleet:\n  nodes:\n    - capacity: 2\n" + okAssert, "empty id"},
+		{"duplicate node id", "name: x\nfleet:\n  nodes:\n    - id: n0\n    - id: n0\n" + okAssert, "duplicate node id"},
+		{"generated id collides with explicit",
+			"name: x\nfleet:\n  nodes:\n    - id: gen-0001\n  generate:\n    count: 2\n    prefix: gen-\n    templates:\n      - name: t\n        weight: 1\n" + okAssert,
+			"collides"},
+		{"generate count zero",
+			"name: x\nfleet:\n  generate:\n    count: 0\n    templates:\n      - name: t\n        weight: 1\n" + okAssert,
+			"count must be > 0"},
+		{"generate without templates",
+			"name: x\nfleet:\n  generate:\n    count: 2\n" + okAssert,
+			"at least one template"},
+		{"template weight zero",
+			"name: x\nfleet:\n  generate:\n    count: 2\n    templates:\n      - name: t\n        weight: 0\n" + okAssert,
+			"weight > 0"},
+		{"bad duration", minimal("  heartbeat_every: fast\n" + okAssert), "bad duration"},
+		{"unknown action", minimal("events:\n  - at: 1s\n    action: explode\n    target: n0\n" + okAssert), "unknown action"},
+		{"out-of-order events",
+			minimal("events:\n  - at: 5s\n    action: kill_node\n    target: n0\n  - at: 2s\n    action: kill_node\n    target: n1\n" + okAssert),
+			"ascending time order"},
+		{"unknown event target", minimal("events:\n  - at: 1s\n    action: kill_node\n    target: ghost\n" + okAssert), "unknown target node"},
+		{"event without target", minimal("events:\n  - at: 1s\n    action: kill_node\n" + okAssert), "needs a target"},
+		{"target and targets together",
+			minimal("events:\n  - at: 1s\n    action: partition\n    target: n0\n    targets: [n1]\n" + okAssert),
+			"target and targets are mutually exclusive"},
+		{"factor on kill_node",
+			minimal("events:\n  - at: 1s\n    action: kill_node\n    target: n0\n    factor: 2\n" + okAssert),
+			"factor is only valid on slow_disk"},
+		{"slow_disk factor too small",
+			minimal("events:\n  - at: 1s\n    action: slow_disk\n    target: n0\n    factor: 1\n" + okAssert),
+			"factor > 1"},
+		{"duration on kill_node",
+			minimal("events:\n  - at: 1s\n    action: kill_node\n    target: n0\n    duration: 2s\n" + okAssert),
+			"duration is only valid"},
+		{"at_step in sim mode",
+			minimal("events:\n  - at_step: 3\n    action: kill_node\n    target: n0\n" + okAssert),
+			"at_step requires a cluster"},
+		{"chaos without duration", minimal("chaos:\n  enabled: true\n  failure_rate: 1\n" + okAssert), "explicit scenario duration"},
+		{"chaos without rate", minimal("duration: 10s\nchaos:\n  enabled: true\n" + okAssert), "failure_rate must be > 0"},
+		{"chaos unknown kind",
+			minimal("duration: 10s\nchaos:\n  enabled: true\n  failure_rate: 1\n  kinds: [meteor]\n" + okAssert),
+			"unknown kind"},
+		{"empty assert expr", minimal("assertions:\n  - at_end: true\n"), ""},
+		{"bad assert operator", minimal("assertions:\n  - at_end: true\n    assert: a ~ 1\n"), "bad operator"},
+		{"bad assert arity", minimal("assertions:\n  - at_end: true\n    assert: a b\n"), "bad assertion"},
+		{"bad assert value", minimal("assertions:\n  - at_end: true\n    assert: a == maybe\n"), "bad value"},
+		{"at and at_end together", minimal("assertions:\n  - at: 1s\n    at_end: true\n    assert: a == 1\n"), "mutually exclusive"},
+		{"within in sim mode", minimal("assertions:\n  - at_end: true\n    within: 2s\n    assert: a == 1\n"), "only meaningful in cluster"},
+		{"unknown model", minimal("workload:\n  pipeline: sand\n  model: resnet9000\n" + okAssert), "unknown model"},
+		{"unknown pipeline", minimal("workload:\n  pipeline: warp\n  model: slowfast\n" + okAssert), "unknown pipeline"},
+		{"cluster plus workload",
+			"name: x\ncluster:\n  nodes: 2\nworkload:\n  pipeline: sand\n  model: slowfast\n" + okAssert,
+			"mutually exclusive"},
+		{"cluster plus fleet", "name: x\ncluster:\n  nodes: 2\nfleet:\n  nodes:\n    - id: n0\n" + okAssert, "no fleet/chaos"},
+		{"cluster event keyed by time",
+			"name: x\ncluster:\n  nodes: 2\nevents:\n  - at: 1s\n    action: kill_node\n    target: node1\n" + okAssert,
+			"keyed by at_step"},
+		{"cluster partition unsupported",
+			"name: x\ncluster:\n  nodes: 2\nevents:\n  - at_step: 1\n    action: partition\n    target: node1\n" + okAssert,
+			"kill_node and drain_node only"},
+		{"cluster timed assertion",
+			"name: x\ncluster:\n  nodes: 2\nassertions:\n  - at: 1s\n    assert: cluster.batches > 0\n",
+			"at_end only"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted invalid doc:\n%s", tc.doc)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDurationForms(t *testing.T) {
+	sc, err := Parse([]byte("name: x\nduration: 12\nfleet:\n  nodes:\n    - id: n0\n" + okAssert))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Duration != 12 {
+		t.Fatalf("bare-number duration = %v, want 12", sc.Duration)
+	}
+	sc, err = Parse([]byte("name: x\nduration: 1.5\nfleet:\n  nodes:\n    - id: n0\n" + okAssert))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Duration != 1.5 {
+		t.Fatalf("float duration = %v, want 1.5", sc.Duration)
+	}
+	sc, err = Parse([]byte("name: x\nduration: 2m\nfleet:\n  nodes:\n    - id: n0\n" + okAssert))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Duration != 120 {
+		t.Fatalf("2m duration = %v, want 120", sc.Duration)
+	}
+}
+
+func TestHorizonDerivation(t *testing.T) {
+	sc, err := Parse([]byte(minimal(`events:
+  - at: 3s
+    action: partition
+    target: n0
+    duration: 4s
+assertions:
+  - at: 5s
+    assert: nodes.total == 2
+`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// partition 3s+4s window outlasts the 5s assertion.
+	if h := sc.horizon(); h != 7 {
+		t.Fatalf("horizon = %v, want 7", h)
+	}
+}
+
+// TestLoadCorpus parses every shipped scenario file: the corpus must
+// stay loadable, and SCENARIOS.md documents only fields these exercise.
+func TestLoadCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 6 {
+		t.Fatalf("scenario corpus shrank: found %d files, want >= 6", len(files))
+	}
+	kinds := map[string]int{}
+	for _, f := range files {
+		sc, err := Load(f)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if base := filepath.Base(f); base != sc.Name+".yaml" {
+			t.Errorf("%s: scenario name %q does not match file name", f, sc.Name)
+		}
+		kinds[sc.Kind()]++
+	}
+	if kinds["sim"] == 0 || kinds["cluster"] == 0 {
+		t.Fatalf("corpus must cover both modes, got %v", kinds)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.yaml")); !os.IsNotExist(err) {
+		t.Fatalf("want IsNotExist, got %v", err)
+	}
+}

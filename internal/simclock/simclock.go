@@ -2,8 +2,22 @@
 // kernel: a virtual clock with an event heap, plus multi-slot resources
 // (CPU pools, GPUs, decoders, network links) with pluggable queueing
 // disciplines. The trainsim package builds SAND's cluster-scale
-// experiments on top of it, so figure-scale results regenerate in
-// milliseconds of real time.
+// experiments (§7 of the paper) on top of it, so figure-scale results
+// regenerate in milliseconds of real time, and the scenario package
+// drives simulated fleets of thousands of nodes through fault timelines
+// on the same clock.
+//
+// Determinism is the kernel's contract: events at equal virtual times
+// fire in submission order (a per-Sim sequence number breaks ties), no
+// real time or goroutine scheduling ever leaks into the event order, and
+// all randomness stays with the caller. Two runs that schedule the same
+// events from the same seeds execute identically — which is what makes
+// scenario replay ("same seed, same report") possible.
+//
+// Run drains the heap to emptiness; RunUntil executes only events up to
+// a horizon; Step executes exactly one event, giving callers that
+// interleave simulation with outside bookkeeping (the scenario runner's
+// stop conditions) a re-entrant loop primitive.
 package simclock
 
 import (
@@ -57,6 +71,20 @@ func (s *Sim) Run() {
 		s.Steps++
 		e.fn()
 	}
+}
+
+// Step executes the single earliest pending event, advancing the clock
+// to its timestamp. It returns false (leaving the clock untouched) when
+// no events are pending.
+func (s *Sim) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	s.Steps++
+	e.fn()
+	return true
 }
 
 // RunUntil executes events with timestamps <= t, then advances the clock

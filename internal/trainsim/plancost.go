@@ -9,6 +9,15 @@
 //  3. the discrete-event kernel (internal/simclock): GPUs, vCPU pools and
 //     WAN links with queueing, producing wall-clock times, utilizations
 //     and energy.
+//
+// Each Pipeline variant encodes one preprocessing strategy from the
+// paper's evaluation (see the Pipeline constants for per-variant §
+// provenance); Run executes a Scenario in virtual time and reports
+// wall-clock, utilization, stall and energy figures. A Scenario may also
+// carry Hooks — an externally owned clock, per-iteration event
+// callbacks, and a submit-time work-inflation factor — which is how the
+// scenario harness (internal/scenario) injects faults into and observes
+// a running simulation without perturbing its determinism.
 package trainsim
 
 import (
@@ -196,7 +205,7 @@ func DerivePlanCosts(workloads []gpusim.Workload, videos, chunkEpochs int, budge
 	}
 	pc.PruneFits = res.Fits
 	pc.CachedBytes = res.FinalBytes
-	for _, g := range coord.Graphs {
+	for _, g := range coord.SortedGraphs() {
 		pc.SandChunkMaterialize += g.MaterializationCost()
 		pc.SandChunkRecompute += g.RecomputeCost()
 	}

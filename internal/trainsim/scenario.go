@@ -7,26 +7,56 @@ import (
 	"sand/internal/simclock"
 )
 
-// Pipeline selects the preprocessing strategy under test.
+// Pipeline selects the preprocessing strategy under test. Each variant
+// reproduces one column of the paper's evaluation matrix; the comments
+// cite the paper section that motivates it.
 type Pipeline int
 
 const (
 	// OnDemandCPU decodes and augments every batch on the vCPUs at use
-	// time (PyAV/decord-style baseline).
+	// time — the PyAV/decord-style baseline whose stalls motivate the
+	// paper (§2.2, Figure 2a's preprocessing-bound iteration times).
 	OnDemandCPU Pipeline = iota
-	// OnDemandGPU offloads preprocessing to NVDEC + GPU kernels
-	// (DALI-style baseline): it contends with training for the device
-	// and shrinks the usable batch size.
+	// OnDemandGPU offloads preprocessing to NVDEC + GPU kernels — the
+	// DALI-style baseline of §2.3: it contends with training for the
+	// device and shrinks the usable batch size (Figure 4's net
+	// throughput loss), and NVDEC decode costs 2.6× the energy of CPU
+	// decode (§3).
 	OnDemandGPU
 	// NaiveCache is OnDemandCPU plus a cache of decoded frames capped at
-	// the local SSD size (§7.2's naive caching baseline).
+	// the local SSD size (§7.2's naive caching baseline): random frame
+	// selection keeps the hit rate at the cached fraction (<4% on
+	// Kinetics-400), so it barely helps.
 	NaiveCache
 	// SAND pre-materializes the pruned frontier per k-epoch chunk and
-	// feeds from it (the paper's system).
+	// feeds training from it — the paper's system (§4-§6): chunked
+	// concrete graphs, Algorithm 1 pruning, priority-scheduled
+	// materialization.
 	SAND
-	// Ideal serves pre-stored batches with zero preprocessing cost.
+	// Ideal serves pre-stored batches with zero preprocessing cost — the
+	// upper bound every figure normalizes against (§7.2's "ideal").
 	Ideal
 )
+
+// ParsePipeline maps a pipeline's String form (and the bare aliases
+// "cpu", "gpu", "cache") back to the constant — the scenario YAML
+// loader's inverse of String.
+func ParsePipeline(name string) (Pipeline, error) {
+	switch name {
+	case "on-demand-cpu", "cpu":
+		return OnDemandCPU, nil
+	case "on-demand-gpu", "gpu":
+		return OnDemandGPU, nil
+	case "naive-cache", "cache":
+		return NaiveCache, nil
+	case "sand":
+		return SAND, nil
+	case "ideal":
+		return Ideal, nil
+	default:
+		return 0, fmt.Errorf("trainsim: unknown pipeline %q (want on-demand-cpu | on-demand-gpu | naive-cache | sand | ideal)", name)
+	}
+}
 
 func (p Pipeline) String() string {
 	switch p {
@@ -43,6 +73,47 @@ func (p Pipeline) String() string {
 	default:
 		return fmt.Sprintf("Pipeline(%d)", int(p))
 	}
+}
+
+// Hooks lets an external harness observe and perturb a simulation run.
+// All fields are optional; a nil *Hooks (the default) costs nothing.
+// Callbacks fire synchronously inside the event loop and receive the
+// current virtual time in seconds — they must not block.
+type Hooks struct {
+	// Sim, when non-nil, is the clock the run executes on instead of a
+	// private one. The caller may pre-schedule its own events (fault
+	// injections, assertion probes); Run drains the shared heap, so those
+	// events interleave deterministically with the workload's.
+	Sim *simclock.Sim
+	// WorkFactor, when non-nil, is sampled at submission time and
+	// multiplies the preprocessing work of everything submitted while it
+	// returns > 1 (slow-disk windows, capacity lost to dead nodes).
+	// Returning 1 is the neutral value; returns <= 0 are ignored.
+	WorkFactor func() float64
+	// OnIterStart fires when a job wants iteration iter's batch.
+	OnIterStart func(job, iter int, now float64)
+	// OnStall fires when that want found the batch not yet materialized
+	// (the GPU is now waiting on data).
+	OnStall func(job, iter int, now float64)
+	// OnBatchReady fires when (job, iter)'s batch becomes ready.
+	OnBatchReady func(job, iter int, now float64)
+	// OnIterDone fires when the training step for (job, iter) completes.
+	OnIterDone func(job, iter int, now float64)
+	// OnChunkSubmit fires when SAND submits chunk c's pre-materialization.
+	OnChunkSubmit func(chunk int, now float64)
+}
+
+// factor returns the current work-inflation multiplier (>= 1-neutral
+// semantics: invalid returns collapse to 1).
+func (h *Hooks) factor() float64 {
+	if h == nil || h.WorkFactor == nil {
+		return 1
+	}
+	f := h.WorkFactor()
+	if f <= 0 {
+		return 1
+	}
+	return f
 }
 
 // Scenario describes one end-to-end experiment.
@@ -77,6 +148,9 @@ type Scenario struct {
 	// VCPUs overrides the per-GPU vCPU count (0 = the paper's 12).
 	VCPUs int
 	Seed  int64
+	// Hooks, when non-nil, wires the run into an external harness (shared
+	// clock, fault injection, per-iteration observation). See Hooks.
+	Hooks *Hooks
 }
 
 func (sc *Scenario) normalize() error {
@@ -165,7 +239,11 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	res.PlanCosts = sc.PlanCosts
 
+	h := sc.Hooks
 	sim := simclock.New()
+	if h != nil && h.Sim != nil {
+		sim = h.Sim
+	}
 	discipline := simclock.PriorityOrder
 	if sc.Pipeline == SAND && !sc.Scheduling {
 		discipline = simclock.FIFO
@@ -216,6 +294,9 @@ func Run(sc Scenario) (*Result, error) {
 	markReady := func(job, iter int) {
 		st := states[job][iter]
 		st.ready = true
+		if h != nil && h.OnBatchReady != nil {
+			h.OnBatchReady(job, iter, sim.Now())
+		}
 		for _, fn := range st.waiters {
 			fn()
 		}
@@ -243,7 +324,7 @@ func Run(sc Scenario) (*Result, error) {
 		}
 		st := states[job][iter]
 		st.remaining = subtasks
-		per := work / float64(subtasks)
+		per := work * h.factor() / float64(subtasks)
 		enqueue := func() {
 			for k := 0; k < subtasks; k++ {
 				cpu.Submit(simclock.Job{
@@ -280,6 +361,9 @@ func Run(sc Scenario) (*Result, error) {
 			g.Submit(simclock.Job{Name: "train", Work: stepSec, OnDone: func() {
 				gpuTrainBusy[job] += stepSec
 				jobDone[job] = sim.Now()
+				if h != nil && h.OnIterDone != nil {
+					h.OnIterDone(job, iter, sim.Now())
+				}
 				if iter+1 < totalIters {
 					startIter(job, iter+1)
 				}
@@ -298,12 +382,18 @@ func Run(sc Scenario) (*Result, error) {
 			}
 			delete(chunkTriggers, iter)
 		}
+		if h != nil && h.OnIterStart != nil {
+			h.OnIterStart(job, iter, sim.Now())
+		}
 		st := states[job][iter]
 		if st.ready {
 			trainStep(job, iter)
 			return
 		}
 		res.Stalls++
+		if h != nil && h.OnStall != nil {
+			h.OnStall(job, iter, sim.Now())
+		}
 		st.waiters = append(st.waiters, func() { trainStep(job, iter) })
 	}
 
@@ -328,7 +418,7 @@ func Run(sc Scenario) (*Result, error) {
 				iter := i
 				submit := func() {
 					prepEngines[job].Submit(simclock.Job{
-						Name: "gpu-prep", Work: prep,
+						Name: "gpu-prep", Work: prep * h.factor(),
 						OnDone: func() {
 							nvdecBusy += prep * w.DecodeFrac
 							gpuPrepBusy += prep
@@ -406,6 +496,9 @@ func Run(sc Scenario) (*Result, error) {
 			c := c
 			orderCopy := order
 			submitChunk[c] = func() {
+				if h != nil && h.OnChunkSubmit != nil {
+					h.OnChunkSubmit(c, sim.Now())
+				}
 				for _, iter := range orderCopy {
 					// SAND fetches each encoded video over the WAN
 					// exactly once (the compressed dataset fits the local

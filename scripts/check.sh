@@ -60,4 +60,7 @@ echo "== trace smoke"
 echo "== fleet smoke (3 nodes, drain + kill mid-epoch)"
 ./scripts/fleet_smoke.sh
 
+echo "== scenario corpus smoke (validate + run twice + determinism diff)"
+./scripts/scenario_smoke.sh
+
 echo "check: all green"

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Scenario-corpus smoke: lint every scenario file, run the whole corpus
+# with reports, then run it a second time and require the two report
+# trees to be byte-identical — the harness's determinism contract
+# (same scenario + same seed => same report bytes) is enforced on every
+# `make check`, not just claimed in SCENARIOS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/sandsim" ./cmd/sandsim
+
+echo "== sandsim validate scenarios/"
+"$tmp/sandsim" validate scenarios
+
+echo "== sandsim run scenarios/ (first pass)"
+"$tmp/sandsim" run -report-dir "$tmp/rep1" scenarios
+
+echo "== sandsim run scenarios/ (replay pass)"
+"$tmp/sandsim" run -report-dir "$tmp/rep2" scenarios >/dev/null
+
+echo "== determinism: diffing the two report trees"
+if ! diff -r "$tmp/rep1" "$tmp/rep2"; then
+  echo "scenario_smoke: replay produced different report bytes" >&2
+  exit 1
+fi
+
+echo "scenario_smoke: ok ($(ls "$tmp"/rep1/*.report.json | wc -l | tr -d ' ') deterministic reports)"
