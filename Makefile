@@ -33,6 +33,12 @@ bench-dataplane:
 bench-reuse:
 	./scripts/bench_reuse.sh $(BENCHTIME)
 
+# Closed-loop scheduling benchmark: writes BENCH_sched.json (admission
+# control on vs off under premat overload, SLO bookkeeping overhead,
+# fixed vs adaptive read-ahead; see DESIGN.md §11 for the gates).
+bench-sched:
+	./scripts/bench_sched.sh
+
 # One traced quickstart run, validated (see OBSERVABILITY.md).
 trace-smoke:
 	./scripts/trace_smoke.sh
@@ -47,4 +53,4 @@ fleet-smoke:
 scenarios:
 	./scripts/scenario_smoke.sh
 
-.PHONY: check test fuzz bench bench-storage bench-dataplane bench-reuse trace-smoke fleet-smoke scenarios
+.PHONY: check test fuzz bench bench-storage bench-dataplane bench-reuse bench-sched trace-smoke fleet-smoke scenarios

@@ -458,7 +458,7 @@ func BenchmarkViewServerZeroCopy(b *testing.B) {
 					b.Fatal(err)
 				}
 				fs := vfs.New(&benchPinnedProvider{payload: payload, store: st})
-				srv := viewserver.New(fs, viewserver.Options{ReadAhead: -1, ForceCopy: mode == "copy"})
+				srv := viewserver.New(fs, viewserver.Options{ForceCopy: mode == "copy"})
 				addr, err := srv.Listen("tcp", "127.0.0.1:0")
 				if err != nil {
 					b.Fatal(err)
@@ -527,7 +527,7 @@ func BenchmarkViewServerThroughput(b *testing.B) {
 					payload[i] = byte(i)
 				}
 				fs := vfs.New(benchViewProvider{payload: payload})
-				srv := viewserver.New(fs, viewserver.Options{ReadAhead: 2})
+				srv := viewserver.New(fs, viewserver.Options{ReadAhead: viewserver.DefaultReadAhead})
 				addr, err := srv.Listen("tcp", "127.0.0.1:0")
 				if err != nil {
 					b.Fatal(err)

@@ -85,7 +85,7 @@ func dataplaneRun(clients int, forceCopy bool) (mbs float64, hits, fallbacks int
 		return 0, 0, 0, err
 	}
 	srv := viewserver.New(vfs.New(&dataplaneProvider{payload: payload, store: st}),
-		viewserver.Options{ReadAhead: -1, ForceCopy: forceCopy})
+		viewserver.Options{ForceCopy: forceCopy})
 	addr, err := srv.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return 0, 0, 0, err

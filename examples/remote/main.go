@@ -65,7 +65,7 @@ func main() {
 	}
 	defer svc.Close()
 
-	srv := viewserver.New(svc.FS(), viewserver.Options{ReadAhead: 2, Obs: svc.Obs()})
+	srv := viewserver.New(svc.FS(), viewserver.Options{ReadAhead: viewserver.DefaultReadAhead, Obs: svc.Obs()})
 	addr, err := srv.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

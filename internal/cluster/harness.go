@@ -44,8 +44,12 @@ type HarnessOptions struct {
 	Workers     int
 	MemBudget   int64
 	Seed        int64
-	// ReadAhead tunes each node's view server prefetch.
+	// ReadAhead tunes each node's view server prefetch (0 =
+	// viewserver.DefaultReadAhead, negative disables).
 	ReadAhead int
+	// DemandSLO arms each engine scheduler's demand-path queue-wait p99
+	// SLO (0 = admission control off); see sched.Options.AdmissionSLO.
+	DemandSLO time.Duration
 	// SuspectAfter / DeadAfter tune the registry's failure detector
 	// (defaults 400ms / 1200ms — fast enough for test-sized runs).
 	SuspectAfter time.Duration
@@ -120,6 +124,7 @@ func (h *FleetHarness) newService() (*core.Service, error) {
 		Workers:     h.opts.Workers,
 		Coordinate:  true,
 		Seed:        h.opts.Seed,
+		DemandSLO:   h.opts.DemandSLO,
 	})
 }
 
@@ -134,12 +139,13 @@ func (h *FleetHarness) startNode(i int, ann fleet.LocalAnnouncer) (*HarnessNode,
 		Workers:     h.opts.Workers,
 		Coordinate:  true,
 		Seed:        h.opts.Seed,
+		DemandSLO:   h.opts.DemandSLO,
 		Obs:         reg,
 	})
 	if err != nil {
 		return nil, err
 	}
-	srv := viewserver.New(svc.FS(), viewserver.Options{ReadAhead: h.opts.ReadAhead, Obs: reg})
+	srv := viewserver.New(svc.FS(), viewserver.Options{ReadAhead: resolveReadAhead(h.opts.ReadAhead), Obs: reg})
 	addr, err := srv.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		svc.Close()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -506,13 +507,18 @@ func (s *Service) ensureBatchPin(key iterationKey) ([]byte, *storage.Pin, error)
 
 	// Demand path: run at top priority and wait. The trace ID correlates
 	// the scheduler's enqueue/dequeue events with the batch/sample/frame
-	// spans materialization emits.
+	// spans materialization emits. Carrying the op signature and edge
+	// count means demand runs train the scheduler's cost model too — the
+	// SJF estimates stay fresh even when pre-materialization is gated off.
 	tid := obs.NextTraceID()
+	remaining, sig := s.planEstimate(key)
 	done := make(chan error, 1)
 	err := s.pool.Submit(&sched.Task{
-		Key:   bk,
-		Kind:  sched.Demand,
-		Trace: tid,
+		Key:       bk,
+		Kind:      sched.Demand,
+		Sig:       sig,
+		Remaining: remaining,
+		Trace:     tid,
 		Run: func() error {
 			err := s.materializeBatch(key, 0, tid)
 			done <- err
@@ -569,15 +575,16 @@ func (s *Service) schedulePremat(after iterationKey) {
 		if _, _, err := s.peekBatch(key); err == nil {
 			continue // already materialized
 		}
-		remaining := s.remainingWork(key)
+		remaining, sig := s.planEstimate(key)
 		deadline := int64(ahead)
 		k := key
 		tid := obs.NextTraceID()
-		_ = s.pool.Submit(&sched.Task{
+		err = s.pool.Submit(&sched.Task{
 			Key:       batchKey(k.task, k.epoch, k.iter),
 			Kind:      sched.Premat,
 			Deadline:  deadline,
 			Remaining: remaining,
+			Sig:       sig,
 			Trace:     tid,
 			Run: func() error {
 				// Skip if a demand read already produced it.
@@ -587,6 +594,16 @@ func (s *Service) schedulePremat(after iterationKey) {
 				return s.materializeBatch(k, deadline, tid)
 			},
 		})
+		if err != nil {
+			// Refused (admission control engaged, or the pool is shutting
+			// down): clear the dedupe mark so a later planning point can
+			// resubmit the iteration, and stop planning further ahead —
+			// deeper lookahead would only be refused too.
+			s.mu.Lock()
+			delete(s.prematSubmitted, key)
+			s.mu.Unlock()
+			return
+		}
 	}
 }
 
@@ -600,18 +617,32 @@ func (s *Service) peekBatch(key iterationKey) ([]byte, bool, error) {
 	return obj.Data, true, nil
 }
 
-// remainingWork estimates the unprocessed-edge count for an iteration's
-// samples — the SJF key.
-func (s *Service) remainingWork(key iterationKey) int {
+// planEstimate derives both scheduler planning inputs for an iteration
+// from one schedule lookup: the unprocessed-edge count (the cold SJF
+// key) and the op signature (the cost model's learning key). The
+// signature is the sorted set of distinct full-chain op signatures
+// across the iteration's samples — the same per-op Sig strings the
+// reuse planner keys on — so iterations running the same pipeline shape
+// share run-time estimates across epochs, chunks and tasks. An
+// unplannable iteration reports a huge edge count and no signature.
+func (s *Service) planEstimate(key iterationKey) (remaining int, sig string) {
 	samples, err := s.scheduleFor(key)
 	if err != nil {
-		return 1 << 20
+		return 1 << 20, ""
 	}
 	n := 0
+	seen := map[string]struct{}{}
+	var sigs []string
 	for _, sm := range samples {
 		for _, chain := range sm.Chains {
 			n += len(sm.FrameIndices) * (1 + len(chain.Ops))
+			cs := cumulativeSig(chain.Ops, len(chain.Ops))
+			if _, dup := seen[cs]; !dup {
+				seen[cs] = struct{}{}
+				sigs = append(sigs, cs)
+			}
 		}
 	}
-	return n
+	sort.Strings(sigs)
+	return n, strings.Join(sigs, ";")
 }

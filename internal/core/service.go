@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sand/internal/codec"
 	"sand/internal/config"
@@ -63,6 +64,16 @@ type Options struct {
 	// crops and residual-gated augmentation). The zero value enables
 	// superset sharing — it is exact — and leaves residual gating off.
 	Reuse ReuseOptions
+	// DemandSLO is the demand-path queue-wait p99 SLO handed to the
+	// scheduler's admission control: past it, pre-materialization stops
+	// being admitted until the demand path recovers (DESIGN.md §11).
+	// 0 disables admission control.
+	DemandSLO time.Duration
+	// FlightDir enables the flight recorder: when an SLO breach fires
+	// (admission control engaging, an eviction storm), the obs trace
+	// ring is dumped to a Chrome trace file in this directory. Creating
+	// the recorder enables tracing. "" disables.
+	FlightDir string
 	// Obs is the observability registry receiving the engine's traces,
 	// gauges and histograms. Nil uses obs.Default(), so binaries that
 	// never touch observability still aggregate into the process-wide
@@ -148,8 +159,9 @@ type Service struct {
 
 	reg        *obs.Registry
 	tr         *obs.Tracer
-	histView   *obs.Histogram // view-read latency (ns), demand + premat-hit
-	histStatic *obs.Histogram // residual static-tile fraction per gated frame (basis points)
+	flight     *obs.FlightRecorder // auto trace dumps on SLO breach (nil = off)
+	histView   *obs.Histogram      // view-read latency (ns), demand + premat-hit
+	histStatic *obs.Histogram      // residual static-tile fraction per gated frame (basis points)
 
 	// reuse counters (atomic: bumped from intra-sample workers)
 	supersetHits    atomic.Int64 // views served from a shared superset region
@@ -224,11 +236,22 @@ func New(opts Options) (*Service, error) {
 	s.reg = reg
 	s.tr = reg.Trace()
 	s.histView = reg.Histogram("core.view_read_ns")
+	// The flight recorder exists before the store and the pool so both
+	// can report breaches into it; a nil recorder (FlightDir unset) is a
+	// valid no-op receiver for Breach.
+	if opts.FlightDir != "" {
+		fr, err := obs.NewFlightRecorder(s.tr, opts.FlightDir)
+		if err != nil {
+			return nil, err
+		}
+		s.flight = fr
+	}
 	st, err := storage.Open(storage.Options{
-		MemBudget: opts.MemBudget,
-		Dir:       opts.CacheDir,
-		Shards:    opts.StoreShards,
-		Obs:       reg,
+		MemBudget:    opts.MemBudget,
+		Dir:          opts.CacheDir,
+		Shards:       opts.StoreShards,
+		Obs:          reg,
+		OnEvictStorm: func(reason string) { s.flight.Breach(reason) },
 	})
 	if err != nil {
 		return nil, err
@@ -252,9 +275,11 @@ func New(opts Options) (*Service, error) {
 	// reflects total memory, not just the store tier — the store alone
 	// evicts back below 75% and would never cross the 80% threshold.
 	pool, err := sched.NewPool(sched.Options{
-		Workers:     opts.Workers,
-		MemPressure: s.memPressure,
-		Obs:         reg,
+		Workers:      opts.Workers,
+		MemPressure:  s.memPressure,
+		AdmissionSLO: opts.DemandSLO,
+		OnSLOBreach:  func(reason string) { s.flight.Breach(reason) },
+		Obs:          reg,
 	})
 	if err != nil {
 		return nil, err
@@ -273,6 +298,7 @@ func New(opts Options) (*Service, error) {
 			"objects_decoded":    st.ObjectsDecoded,
 			"objects_reused":     st.ObjectsReused,
 			"streamed_videos":    int64(st.StreamedVideos),
+			"flight_dumps":       s.flight.Dumps(),
 			"gop_hits":           g.Hits,
 			"gop_misses":         g.Misses,
 			"gop_extends":        g.Extends,
@@ -442,6 +468,13 @@ func (s *Service) ReuseStats() ReuseStats {
 
 // SchedStats returns the scheduler's counters.
 func (s *Service) SchedStats() sched.Stats { return s.pool.Stats() }
+
+// CostStats returns the scheduler cost model's counters.
+func (s *Service) CostStats() sched.CostModelStats { return s.pool.Cost().Stats() }
+
+// FlightDumps returns how many trace files the flight recorder wrote
+// (0 when Options.FlightDir is unset).
+func (s *Service) FlightDumps() int64 { return s.flight.Dumps() }
 
 // PruneResult returns the active chunk's pruning summary.
 func (s *Service) PruneResult() graph.PruneResult {

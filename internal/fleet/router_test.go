@@ -80,7 +80,7 @@ func startServeNode(t testing.TB, name string, ds *dataset.Dataset, task *config
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := viewserver.New(svc.FS(), viewserver.Options{ReadAhead: -1, Obs: reg})
+	srv := viewserver.New(svc.FS(), viewserver.Options{Obs: reg})
 	addr, err := srv.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		svc.Close()

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// flightMinGap is the minimum wall-clock gap between automatic dumps:
+// one breach storm produces one trace, not hundreds of identical files.
+const flightMinGap = 5 * time.Second
+
+// FlightRecorder turns SLO breaches into automatic Chrome-trace dumps.
+// The trace ring always holds the recent past; when a subsystem reports
+// a breach (scheduler admission control engaging, an eviction storm in
+// the store), the recorder writes the ring to a numbered trace file in
+// its directory — the forensic record arrives without anyone having to
+// reproduce the incident with tracing on.
+//
+// Creating a recorder enables the tracer: a flight recorder with an
+// empty ring records nothing. Dumps are rate-limited to one per
+// flightMinGap so a sustained breach cannot fill the disk. All methods
+// tolerate a nil receiver.
+type FlightRecorder struct {
+	tr  *Tracer
+	dir string
+
+	mu     sync.Mutex
+	last   time.Time
+	seq    int
+	dumps  int64
+	capped int64 // breaches swallowed by the rate limit
+}
+
+// NewFlightRecorder creates the dump directory, enables tracing on tr,
+// and returns the recorder. A nil tracer or empty dir returns nil (the
+// nil recorder is a valid no-op receiver).
+func NewFlightRecorder(tr *Tracer, dir string) (*FlightRecorder, error) {
+	if tr == nil || dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: flight dir: %w", err)
+	}
+	tr.Enable()
+	return &FlightRecorder{tr: tr, dir: dir}, nil
+}
+
+// Breach records one SLO breach: the reason lands in the trace ring as
+// an instant event (so it appears inside the dump it triggers) and the
+// ring is written to <dir>/flight-NNNN.trace.json. Returns the written
+// path, or "" when the dump was rate-limited or the recorder is nil.
+func (f *FlightRecorder) Breach(reason string) string {
+	if f == nil {
+		return ""
+	}
+	f.tr.Instant("obs", "slo_breach", 0, reason)
+	f.mu.Lock()
+	if !f.last.IsZero() && time.Since(f.last) < flightMinGap {
+		f.capped++
+		f.mu.Unlock()
+		return ""
+	}
+	f.last = time.Now()
+	f.seq++
+	seq := f.seq
+	f.mu.Unlock()
+
+	path := filepath.Join(f.dir, fmt.Sprintf("flight-%04d.trace.json", seq))
+	file, err := os.Create(path)
+	if err != nil {
+		return ""
+	}
+	defer file.Close()
+	if err := f.tr.WriteChromeTrace(file); err != nil {
+		return ""
+	}
+	f.mu.Lock()
+	f.dumps++
+	f.mu.Unlock()
+	return path
+}
+
+// Dumps returns how many trace files the recorder has written.
+func (f *FlightRecorder) Dumps() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps
+}

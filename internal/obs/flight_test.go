@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderDumpsOnBreach(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewTracer(0)
+	fr, err := NewFlightRecorder(tr, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Enabled() {
+		t.Fatal("creating a flight recorder must enable the tracer")
+	}
+	tr.Instant("test", "before", 0, "context that should appear in the dump")
+
+	path := fr.Breach("demand p99 over SLO")
+	if path == "" {
+		t.Fatal("first breach did not dump")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "slo_breach") {
+		t.Fatal("dump missing the breach event")
+	}
+	if !strings.Contains(string(data), "before") {
+		t.Fatal("dump missing pre-breach ring context")
+	}
+	if fr.Dumps() != 1 {
+		t.Fatalf("Dumps = %d, want 1", fr.Dumps())
+	}
+
+	// A second breach inside the cooldown is swallowed.
+	if p := fr.Breach("again"); p != "" {
+		t.Fatalf("rate-limited breach dumped to %s", p)
+	}
+	if fr.Dumps() != 1 {
+		t.Fatalf("Dumps after rate-limited breach = %d, want 1", fr.Dumps())
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	if p := fr.Breach("x"); p != "" {
+		t.Fatal("nil recorder dumped")
+	}
+	if fr.Dumps() != 0 {
+		t.Fatal("nil recorder counted dumps")
+	}
+	if fr2, err := NewFlightRecorder(nil, t.TempDir()); err != nil || fr2 != nil {
+		t.Fatalf("nil tracer: recorder=%v err=%v, want nil/nil", fr2, err)
+	}
+	if fr3, err := NewFlightRecorder(NewTracer(0), ""); err != nil || fr3 != nil {
+		t.Fatalf("empty dir: recorder=%v err=%v, want nil/nil", fr3, err)
+	}
+}

@@ -88,6 +88,7 @@ func runCluster(sc *Scenario, tracer *obs.Tracer) (*Report, error) {
 		MemBudget:   int64(c.MemBudgetMB) << 20,
 		Seed:        seed,
 		ReadAhead:   readAhead,
+		DemandSLO:   time.Duration(c.DemandSLOMS * float64(time.Millisecond)),
 		Baseline:    c.compareBaseline(),
 	})
 	if err != nil {
@@ -241,6 +242,22 @@ func runCluster(sc *Scenario, tracer *obs.Tracer) (*Report, error) {
 			failovers += r.Stats().Failovers
 		}
 		snap.Set("fleet.failovers", float64(failovers))
+		// Admission control across the fleet, booleans only: engage and
+		// release counts depend on wall-clock queue waits, but with a
+		// scenario SLO armed the "did it ever engage" bit is
+		// deterministic, so it is safe for the run-twice report diff.
+		engagedEver, releasedEver := 0.0, 0.0
+		for _, n := range h.Nodes() {
+			st := n.Service().SchedStats()
+			if st.AdmissionEngages > 0 {
+				engagedEver = 1
+			}
+			if st.AdmissionReleases > 0 {
+				releasedEver = 1
+			}
+		}
+		snap.Set("sched.admission.engaged_ever", engagedEver)
+		snap.Set("sched.admission.released_ever", releasedEver)
 		return snap
 	}
 

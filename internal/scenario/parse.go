@@ -305,7 +305,7 @@ func (d *decoder) cluster(m map[string]any) *Cluster {
 		return nil
 	}
 	d.strictKeys("cluster", m, "nodes", "workers", "epochs", "chunk_epochs",
-		"videos", "read_ahead", "mem_budget_mb", "compare_baseline")
+		"videos", "read_ahead", "mem_budget_mb", "demand_slo_ms", "compare_baseline")
 	c := &Cluster{
 		Nodes:       d.intval("cluster", "nodes", m["nodes"]),
 		Workers:     d.intval("cluster", "workers", m["workers"]),
@@ -314,6 +314,7 @@ func (d *decoder) cluster(m map[string]any) *Cluster {
 		Videos:      d.intval("cluster", "videos", m["videos"]),
 		ReadAhead:   d.intval("cluster", "read_ahead", m["read_ahead"]),
 		MemBudgetMB: d.intval("cluster", "mem_budget_mb", m["mem_budget_mb"]),
+		DemandSLOMS: d.floatval("cluster", "demand_slo_ms", m["demand_slo_ms"]),
 	}
 	if v, ok := m["compare_baseline"]; ok {
 		b := d.boolval("cluster", "compare_baseline", v)

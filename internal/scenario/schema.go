@@ -175,6 +175,11 @@ type Cluster struct {
 	// MemBudgetMB caps each engine's in-memory store (0 = engine
 	// default); tight budgets force eviction storms.
 	MemBudgetMB int `json:"mem_budget_mb,omitempty"`
+	// DemandSLOMS arms each engine scheduler's demand-path queue-wait
+	// p99 SLO in milliseconds (0 = admission control off). Tiny values
+	// force premat admission to engage, exposed to assertions as
+	// sched.admission.engaged_ever / released_ever.
+	DemandSLOMS float64 `json:"demand_slo_ms,omitempty"`
 	// CompareBaseline verifies every fleet-served batch byte-for-byte
 	// against a single-node engine with the same (config, seed), feeding
 	// the bytes_identical_to_baseline assertion metric (default true).

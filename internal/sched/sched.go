@@ -7,14 +7,24 @@
 //   - Pre-materialization tasks are ordered earliest-deadline-first
 //     (deadline = iterations until the object is needed), so lagging work
 //     is boosted automatically. When memory pressure exceeds
-//     MemoryPressureThreshold, ordering switches to shortest-job-first
-//     (fewest unprocessed edges), draining almost-finished subtrees to
-//     release their pinned decoded frames.
+//     MemoryPressureThreshold, ordering switches to shortest-job-first,
+//     draining almost-finished subtrees to release their pinned decoded
+//     frames.
 //
-// The pool is fully instrumented (internal/obs): enqueue/dequeue and
-// EDF<->SJF mode-switch trace events, queue-wait and task-run latency
-// histograms, and policy-decision counters, all keyed by the task's
-// optional TraceID so one batch can be followed end to end.
+// Scheduling is closed-loop (see DESIGN.md §11): the SJF key is the
+// predicted run time from a CostModel learning per-op-signature run-time
+// distributions out of the pool's own observations (falling back to raw
+// edge counts while cold), and pre-materialization admission is gated on
+// the demand path's health — when the demand queue-wait p99 degrades
+// past Options.AdmissionSLO the pool stops admitting premat tasks
+// (ErrAdmission) and sheds the queued premat tail until the windowed p99
+// recovers, with hysteresis so the gate cannot flap.
+//
+// The pool is fully instrumented (internal/obs): enqueue/dequeue,
+// EDF<->SJF mode-switch and admission engage/release trace events,
+// queue-wait (overall and demand-only) and task-run latency histograms,
+// and policy-decision counters, all keyed by the task's optional TraceID
+// so one batch can be followed end to end.
 package sched
 
 import (
@@ -54,8 +64,13 @@ type Task struct {
 	// consumed; smaller = more urgent (EDF).
 	Deadline int64
 	// Remaining is the unprocessed-edge count of the task's subtree
-	// (SJF key; smaller = shorter job).
+	// (the SJF cost basis; smaller = shorter job).
 	Remaining int
+	// Sig is the task's op signature — the key under which the pool's
+	// CostModel learns its run-time distribution (the engine shares it
+	// with the reuse-plan signatures). Empty tasks still feed the global
+	// per-edge estimate but get no per-signature prediction.
+	Sig string
 	// Run performs the work.
 	Run func() error
 	// Trace is the optional trace context the task belongs to; it is
@@ -67,8 +82,9 @@ type Task struct {
 	seq      uint64
 	enqueued time.Time
 	done     atomic.Bool
-	edf      int // index in EDF heap, -1 when popped
-	sjf      int // index in SJF heap
+	edf      int   // index in EDF heap, -1 when popped
+	sjf      int   // index in SJF heap
+	costNS   int64 // predicted run time at submit (primary SJF key)
 }
 
 // Stats reports scheduler counters.
@@ -81,6 +97,13 @@ type Stats struct {
 	EDFDecisions  int64
 	ModeSwitches  int64 // EDF<->SJF policy changes observed across dequeues
 	MaxQueueDepth int
+
+	// Admission-control counters (see Options.AdmissionSLO).
+	AdmissionEngaged  bool  // gate currently closed to premat work
+	AdmissionEngages  int64 // times the gate closed
+	AdmissionReleases int64 // times the gate re-opened
+	AdmissionRejected int64 // premat Submits refused with ErrAdmission
+	AdmissionShed     int64 // queued premat tasks dropped on engage
 }
 
 // Pool is the worker pool. Create with NewPool, submit with Submit, stop
@@ -95,12 +118,29 @@ type Pool struct {
 
 	pressure func() float64
 	onError  func(*Task, error)
+	cost     *CostModel
+	onBreach func(reason string) // invoked (outside mu) when admission engages
 
 	// observability (all nil-safe)
-	tr       *obs.Tracer
-	histWait *obs.Histogram // sched.queue_wait_ns: submit -> dequeue
-	histRun  *obs.Histogram // sched.task_run_ns: task execution
-	sjfMode  bool           // last dequeue sampled SJF pressure (guarded by mu)
+	tr         *obs.Tracer
+	histWait   *obs.Histogram // sched.queue_wait_ns: submit -> dequeue
+	histDemand *obs.Histogram // sched.demand_wait_ns: demand tasks only
+	histRun    *obs.Histogram // sched.task_run_ns: task execution
+	sjfMode    bool           // last dequeue sampled SJF pressure (guarded by mu)
+
+	// Premat admission control, all guarded by mu. admWindow is a ring
+	// of the most recent demand queue-wait samples; the gate engages
+	// when its p99 exceeds admSLO and releases when it falls below
+	// admRelease, with a minimum sample count before the first decision
+	// and a dwell (in samples) between switches so the gate cannot flap.
+	admSLO      int64 // ns; 0 disables admission control
+	admRelease  int64 // ns; release threshold (< admSLO)
+	admWindow   []int64
+	admIdx      int
+	admCount    int64 // demand samples ever observed
+	admSwitch   int64 // admCount at the last engage/release
+	admSwitches int64
+	admEngaged  bool
 
 	closed   bool
 	draining bool
@@ -122,11 +162,39 @@ type Options struct {
 	// OnError is called when a task's Run returns an error; nil ignores
 	// errors beyond counting them.
 	OnError func(*Task, error)
+	// Cost is the run-time model ordering the SJF heap (predicted
+	// nanoseconds instead of raw edge counts). nil creates a private
+	// model; pass a shared one to pool estimates across pools.
+	Cost *CostModel
+	// AdmissionSLO is the demand-path queue-wait p99 SLO: when the
+	// windowed p99 of demand task waits exceeds it, the pool stops
+	// admitting premat tasks (Submit returns ErrAdmission) and sheds the
+	// queued premat tail until the p99 recovers below
+	// AdmissionReleaseFrac×SLO. 0 disables admission control.
+	AdmissionSLO time.Duration
+	// AdmissionReleaseFrac positions the release threshold as a fraction
+	// of AdmissionSLO (hysteresis). 0 defaults to 0.7.
+	AdmissionReleaseFrac float64
+	// OnSLOBreach is invoked — outside pool locks — each time admission
+	// control engages, with a short reason string. The engine points
+	// this at the flight recorder so a breach dumps the trace ring.
+	OnSLOBreach func(reason string)
 	// Obs is the observability registry the pool reports through:
-	// enqueue/dequeue/mode-switch trace events, queue-wait and run-time
-	// histograms, and a "sched" counter snapshot. nil disables all of it.
+	// enqueue/dequeue/mode-switch/admission trace events, queue-wait and
+	// run-time histograms, and a "sched" counter snapshot. nil disables
+	// all of it.
 	Obs *obs.Registry
 }
+
+// Admission-control tuning: the demand-wait window size, the minimum
+// samples before the gate may move, and the dwell (samples) between
+// moves. Sample-count-based hysteresis keeps tests and scenario replays
+// deterministic where wall-clock dwell would not be.
+const (
+	admWindowSize = 64
+	admMinSamples = 8
+	admDwell      = 16
+)
 
 // NewPool starts the workers.
 func NewPool(opts Options) (*Pool, error) {
@@ -135,22 +203,68 @@ func NewPool(opts Options) (*Pool, error) {
 	}
 	p := &Pool{pressure: opts.MemPressure, onError: opts.OnError, workers: opts.Workers}
 	p.cond = sync.NewCond(&p.mu)
+	p.cost = opts.Cost
+	if p.cost == nil {
+		p.cost = NewCostModel()
+	}
+	if opts.AdmissionSLO > 0 {
+		p.admSLO = opts.AdmissionSLO.Nanoseconds()
+		frac := opts.AdmissionReleaseFrac
+		if frac <= 0 || frac >= 1 {
+			frac = 0.7
+		}
+		p.admRelease = int64(float64(p.admSLO) * frac)
+		p.admWindow = make([]int64, 0, admWindowSize)
+		p.onBreach = opts.OnSLOBreach
+	}
 	p.tr = opts.Obs.Trace()
 	p.histWait = opts.Obs.Histogram("sched.queue_wait_ns")
+	p.histDemand = opts.Obs.Histogram("sched.demand_wait_ns")
 	p.histRun = opts.Obs.Histogram("sched.task_run_ns")
 	opts.Obs.Gauge("sched.queue_depth", func() float64 { return float64(p.QueueDepth()) })
 	opts.Obs.Gauge("sched.idle_workers", func() float64 { return float64(p.Idle()) })
+	opts.Obs.Gauge("sched.admission.engaged", func() float64 {
+		if p.Stats().AdmissionEngaged {
+			return 1
+		}
+		return 0
+	})
 	opts.Obs.SnapshotFunc("sched", func() map[string]int64 {
 		st := p.Stats()
+		cs := p.cost.Stats()
+		engaged := int64(0)
+		if st.AdmissionEngaged {
+			engaged = 1
+		}
+		engagedEver := int64(0)
+		if st.AdmissionEngages > 0 {
+			engagedEver = 1
+		}
+		releasedEver := int64(0)
+		if st.AdmissionReleases > 0 {
+			releasedEver = 1
+		}
 		return map[string]int64{
-			"completed":       st.Completed,
-			"errors":          st.Errors,
-			"demand_runs":     st.DemandRuns,
-			"premat_runs":     st.PrematRuns,
-			"edf_decisions":   st.EDFDecisions,
-			"sjf_decisions":   st.SJFDecisions,
-			"mode_switches":   st.ModeSwitches,
-			"max_queue_depth": int64(st.MaxQueueDepth),
+			"completed":               st.Completed,
+			"errors":                  st.Errors,
+			"demand_runs":             st.DemandRuns,
+			"premat_runs":             st.PrematRuns,
+			"edf_decisions":           st.EDFDecisions,
+			"sjf_decisions":           st.SJFDecisions,
+			"mode_switches":           st.ModeSwitches,
+			"max_queue_depth":         int64(st.MaxQueueDepth),
+			"admission_engaged":       engaged,
+			"admission_engaged_ever":  engagedEver,
+			"admission_released_ever": releasedEver,
+			"admission_engages":       st.AdmissionEngages,
+			"admission_releases":      st.AdmissionReleases,
+			"admission_rejected":      st.AdmissionRejected,
+			"admission_shed":          st.AdmissionShed,
+			"est_signatures":          int64(cs.Signatures),
+			"est_observations":        cs.Observations,
+			"est_hits":                cs.Hits,
+			"est_fallback_global":     cs.GlobalFallbacks,
+			"est_fallback_cold":       cs.ColdFallbacks,
 		}
 	})
 	p.edfHeap = taskHeap{less: func(a, b *Task) bool {
@@ -159,7 +273,14 @@ func NewPool(opts Options) (*Pool, error) {
 		}
 		return a.seq < b.seq
 	}, set: func(t *Task, i int) { t.edf = i }}
+	// SJF orders by predicted nanoseconds (CostModel estimate × edges).
+	// Cold tasks carry their raw edge count as costNS, which preserves
+	// the pre-closed-loop ordering among themselves and self-corrects as
+	// soon as any observation seeds the global per-edge estimate.
 	p.sjfHeap = taskHeap{less: func(a, b *Task) bool {
+		if a.costNS != b.costNS {
+			return a.costNS < b.costNS
+		}
 		if a.Remaining != b.Remaining {
 			return a.Remaining < b.Remaining
 		}
@@ -175,16 +296,32 @@ func NewPool(opts Options) (*Pool, error) {
 // ErrClosed is returned by Submit after Close/Abort.
 var ErrClosed = errors.New("sched: pool closed")
 
+// ErrAdmission is returned by Submit for premat tasks while admission
+// control is engaged (demand queue-wait p99 over Options.AdmissionSLO).
+// Callers should drop the work and retry at their next planning point.
+var ErrAdmission = errors.New("sched: premat admission closed")
+
 // Submit enqueues a task.
 func (p *Pool) Submit(t *Task) error {
 	if t == nil || t.Run == nil {
 		return fmt.Errorf("sched: task needs a Run function")
+	}
+	// Estimate before taking the lock: the cost model has its own lock
+	// and is never acquired under p.mu (and vice versa).
+	costNS := int64(t.Remaining)
+	if est, ok := p.cost.EstimateNS(t.Sig, t.Remaining); ok {
+		costNS = est
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed || p.draining {
 		return ErrClosed
 	}
+	if t.Kind == Premat && p.admEngaged {
+		p.stats.AdmissionRejected++
+		return ErrAdmission
+	}
+	t.costNS = costNS
 	t.seq = p.seq
 	p.seq++
 	t.enqueued = time.Now()
@@ -238,9 +375,15 @@ func (p *Pool) next() *Task {
 			p.demand = p.demand[1:]
 			p.queued--
 			p.stats.DemandRuns++
-			p.histWait.Observe(time.Since(t.enqueued).Nanoseconds())
+			wait := time.Since(t.enqueued).Nanoseconds()
+			p.histWait.Observe(wait)
+			p.histDemand.Observe(wait)
+			breach := p.noteDemandWaitLocked(wait)
 			p.tr.Instant("sched", "dequeue", t.Trace, "demand "+t.Key)
 			p.mu.Unlock()
+			if breach != "" && p.onBreach != nil {
+				p.onBreach(breach)
+			}
 			return t
 		}
 		// Then pre-materialization under the current policy. A task
@@ -307,7 +450,11 @@ func (p *Pool) worker() {
 		}
 		runStart := time.Now()
 		err := t.Run()
-		p.histRun.Observe(time.Since(runStart).Nanoseconds())
+		runNS := time.Since(runStart).Nanoseconds()
+		p.histRun.Observe(runNS)
+		if err == nil {
+			p.cost.Observe(t.Sig, t.Remaining, runNS)
+		}
 		if traced {
 			p.tr.Span("sched", "task", t.Trace, spanStart, t.Key)
 		}
@@ -358,6 +505,110 @@ func (p *Pool) Abort() {
 	p.mu.Unlock()
 	p.wg.Wait()
 }
+
+// noteDemandWaitLocked records one demand queue-wait sample and moves
+// the admission gate if the windowed p99 crossed a threshold. Returns a
+// non-empty breach reason when the gate just engaged (the caller invokes
+// the breach callback after dropping p.mu).
+func (p *Pool) noteDemandWaitLocked(waitNS int64) string {
+	if p.admSLO == 0 {
+		return ""
+	}
+	if len(p.admWindow) < admWindowSize {
+		p.admWindow = append(p.admWindow, waitNS)
+	} else {
+		p.admWindow[p.admIdx] = waitNS
+	}
+	p.admIdx = (p.admIdx + 1) % admWindowSize
+	p.admCount++
+	if p.admCount < admMinSamples {
+		return ""
+	}
+	if p.admSwitches > 0 && p.admCount-p.admSwitch < admDwell {
+		return ""
+	}
+	p99 := p.windowP99Locked()
+	if !p.admEngaged && p99 > p.admSLO {
+		p.admEngaged = true
+		p.stats.AdmissionEngaged = true
+		p.stats.AdmissionEngages++
+		p.admSwitches++
+		p.admSwitch = p.admCount
+		shed := p.shedPrematLocked()
+		p.stats.AdmissionShed += int64(shed)
+		p.tr.Instant("sched", "admission", 0,
+			fmt.Sprintf("engage p99=%dns slo=%dns shed=%d", p99, p.admSLO, shed))
+		return fmt.Sprintf("sched demand p99 %s over SLO %s (shed %d premat)",
+			time.Duration(p99), time.Duration(p.admSLO), shed)
+	}
+	if p.admEngaged && p99 < p.admRelease {
+		p.admEngaged = false
+		p.stats.AdmissionEngaged = false
+		p.stats.AdmissionReleases++
+		p.admSwitches++
+		p.admSwitch = p.admCount
+		p.tr.Instant("sched", "admission", 0,
+			fmt.Sprintf("release p99=%dns threshold=%dns", p99, p.admRelease))
+	}
+	return ""
+}
+
+// windowP99Locked computes the p99 of the demand-wait ring without
+// sorting the live buffer.
+func (p *Pool) windowP99Locked() int64 {
+	n := len(p.admWindow)
+	if n == 0 {
+		return 0
+	}
+	buf := make([]int64, n)
+	copy(buf, p.admWindow)
+	// Insertion sort: n ≤ 64, and the window is nearly sorted only by
+	// accident — this stays cheap and allocation-light either way.
+	for i := 1; i < n; i++ {
+		v := buf[i]
+		j := i - 1
+		for j >= 0 && buf[j] > v {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = v
+	}
+	idx := (99*n - 1) / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx]
+}
+
+// shedPrematLocked drops the queued premat tail when admission engages:
+// the earliest-deadline tasks up to the worker count survive (they are
+// the ones most likely to still matter), everything else is tombstoned
+// so later pops skip it in both heaps. Returns the number of tasks shed.
+func (p *Pool) shedPrematLocked() int {
+	var keep []*Task
+	shed := 0
+	for p.edfHeap.Len() > 0 {
+		t := heap.Pop(&p.edfHeap).(*Task)
+		if t.done.Load() {
+			continue // already claimed by a worker or a prior shed
+		}
+		if len(keep) < p.workers {
+			keep = append(keep, t)
+			continue
+		}
+		t.done.Store(true) // tombstone; the SJF twin is skipped on pop
+		p.queued--
+		shed++
+	}
+	for _, t := range keep {
+		heap.Push(&p.edfHeap, t)
+	}
+	return shed
+}
+
+// Cost returns the pool's run-time model (for sharing across pools and
+// for tests injecting estimates).
+func (p *Pool) Cost() *CostModel { return p.cost }
 
 // Stats returns a snapshot of the counters.
 func (p *Pool) Stats() Stats {

@@ -44,6 +44,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sand/internal/obs"
 )
@@ -99,7 +100,19 @@ type Stats struct {
 	// memory; concurrent readers of the same spilled key are collapsed
 	// into one promotion (singleflight).
 	Promotions int64
+	// EvictStorms counts detected eviction storms: stormPasses evicting
+	// passes inside stormWindow (see Options.OnEvictStorm).
+	EvictStorms int64
 }
+
+// Eviction-storm detection: this many evicting passes within the window
+// means the store is churning — its working set no longer fits — and the
+// storm hook fires (at most once per cooldown).
+const (
+	stormPasses   = 8
+	stormWindow   = time.Second
+	stormCooldown = 5 * time.Second
+)
 
 // shard is one hash-partitioned sub-store. Both tiers' metadata maps for
 // a key live in the key's shard, so every per-key operation takes exactly
@@ -174,6 +187,14 @@ type Store struct {
 	candOK                 []bool
 	passEvicted, passFreed []int64
 
+	// Eviction-storm detection, guarded by evictMu (pass timestamps are
+	// only written by the pass holder). onStorm fires outside all locks.
+	onStorm    func(reason string)
+	stormTimes []time.Time // timestamps of recent evicting passes (ring)
+	stormIdx   int
+	stormLast  time.Time // last hook invocation (cooldown)
+	storms     atomic.Int64
+
 	tr    *obs.Tracer
 	above atomic.Bool // watermark crossing state, maintained tracer-on or -off
 }
@@ -199,6 +220,11 @@ type Options struct {
 	// Obs receives store gauges, counters and trace events. Nil means
 	// no registration (tracing calls are nil-safe no-ops).
 	Obs *obs.Registry
+	// OnEvictStorm is invoked — outside store locks — when an eviction
+	// storm is detected (stormPasses evicting passes within stormWindow,
+	// rate-limited to one invocation per stormCooldown). The engine
+	// points this at the flight recorder so churn dumps the trace ring.
+	OnEvictStorm func(reason string)
 }
 
 // shardCount resolves Options.Shards to a power of two in [1, maxShards].
@@ -233,6 +259,8 @@ func Open(opts Options) (*Store, error) {
 		shards:     make([]shard, n),
 		mask:       uint32(n - 1),
 		tr:         opts.Obs.Trace(),
+		onStorm:    opts.OnEvictStorm,
+		stormTimes: make([]time.Time, stormPasses),
 	}
 	for i := range s.shards {
 		s.shards[i].mem = map[string]*Object{}
@@ -274,6 +302,7 @@ func Open(opts Options) (*Store, error) {
 				"disk_objects": int64(st.DiskObjects),
 				"disk_bytes":   st.DiskBytes,
 				"shards":       int64(len(s.shards)),
+				"evict_storms": st.EvictStorms,
 			}
 		})
 	}
@@ -770,6 +799,14 @@ func (s *Store) maybeEvict() error {
 	if s.memBytes.Load() <= thr {
 		return nil
 	}
+	// The storm hook must run outside evictMu (it may dump traces or take
+	// foreign locks); deferred before the lock so it fires after Unlock.
+	var storm string
+	defer func() {
+		if storm != "" && s.onStorm != nil {
+			s.onStorm(storm)
+		}
+	}()
 	s.evictMu.Lock()
 	defer s.evictMu.Unlock()
 	total := s.memBytes.Load()
@@ -856,8 +893,37 @@ func (s *Store) maybeEvict() error {
 			}
 		}
 	}
+	var passTotal int64
+	for i := range s.shards {
+		passTotal += s.passEvicted[i]
+	}
+	if passTotal > 0 {
+		storm = s.noteEvictPassLocked()
+	}
 	s.noteWatermark(s.memBytes.Load())
 	return nil
+}
+
+// noteEvictPassLocked records one evicting pass and returns a non-empty
+// storm reason when the pass completed a storm (stormPasses evicting
+// passes inside stormWindow, outside the cooldown). Caller holds
+// evictMu; the returned reason is acted on after the lock is dropped.
+func (s *Store) noteEvictPassLocked() string {
+	now := time.Now()
+	oldest := s.stormTimes[s.stormIdx] // about to be overwritten: the Nth-last pass
+	s.stormTimes[s.stormIdx] = now
+	s.stormIdx = (s.stormIdx + 1) % stormPasses
+	if oldest.IsZero() || now.Sub(oldest) > stormWindow {
+		return ""
+	}
+	if !s.stormLast.IsZero() && now.Sub(s.stormLast) < stormCooldown {
+		return ""
+	}
+	s.stormLast = now
+	s.storms.Add(1)
+	reason := fmt.Sprintf("storage eviction storm: %d evicting passes in %s", stormPasses, now.Sub(oldest))
+	s.tr.Instant("storage", "evict_storm", 0, reason)
+	return reason
 }
 
 // Keys returns all keys with the given prefix, across both tiers, sorted.
@@ -898,6 +964,7 @@ func (s *Store) Stats() Stats {
 		Evictions:   s.evictions.Load(),
 		Spills:      s.spills.Load(),
 		Promotions:  s.promotions.Load(),
+		EvictStorms: s.storms.Load(),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]

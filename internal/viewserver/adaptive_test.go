@@ -1,0 +1,136 @@
+package viewserver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sand/internal/vfs"
+)
+
+// slowProvider delays batch-view materialization so the adaptive
+// controller sees a server that is slower than its client.
+type slowProvider struct {
+	p     testProvider
+	delay time.Duration
+}
+
+func (sp slowProvider) Materialize(vp vfs.Path) ([]byte, map[string]string, error) {
+	if vp.Kind == vfs.KindBatchView {
+		time.Sleep(sp.delay)
+	}
+	return sp.p.Materialize(vp)
+}
+
+func (sp slowProvider) List(dir string) ([]string, error) { return sp.p.List(dir) }
+
+// TestAdaptiveReadAheadGrows: a client consuming faster than the server
+// materializes drives its session depth up, and the deeper pipeline
+// turns sequential opens into prefetch hits.
+func TestAdaptiveReadAheadGrows(t *testing.T) {
+	fs := vfs.New(slowProvider{p: newProvider(), delay: 3 * time.Millisecond})
+	srv := New(fs, Options{AdaptiveReadAhead: true, ReadAheadMax: 4})
+	addr, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli := dialT(t, addr.String())
+	defer cli.Shutdown()
+
+	for epoch := 0; epoch < 2; epoch++ {
+		for iter := 0; iter < 16; iter++ {
+			fd, err := cli.Open(fmt.Sprintf("/train/%d/%d/view", epoch, iter))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cli.Close(fd)
+		}
+	}
+	depths := srv.ReadaheadDepths()
+	if len(depths) != 1 {
+		t.Fatalf("ReadaheadDepths = %v, want one live session", depths)
+	}
+	if depths[0] < 2 {
+		t.Fatalf("session depth = %d after fast sequential opens, want ≥ 2", depths[0])
+	}
+	st := srv.Stats()
+	if st.ReadaheadGrows == 0 {
+		t.Fatal("controller never grew the depth")
+	}
+	if st.ReadaheadHits == 0 {
+		t.Fatal("deep pipeline produced no prefetch hits")
+	}
+	if rate := st.ReadaheadHitRate(); rate < 0.5 {
+		t.Fatalf("hit rate = %.2f, want ≥ 0.5 (hits=%d misses=%d)", rate, st.ReadaheadHits, st.ReadaheadMisses)
+	}
+}
+
+// TestAdaptiveReadAheadBrake: a stalled client's unclaimed prefetches
+// hit the byte budget, the controller stops issuing prefetches (and
+// shrinks), and pinned bytes stay bounded instead of growing with every
+// open.
+func TestAdaptiveReadAheadBrake(t *testing.T) {
+	const budget = 5000 // ~one 4KiB-ish test view
+	srv, _, addr := startServer(t, Options{
+		AdaptiveReadAhead: true,
+		ReadAhead:         2,
+		ReadAheadMax:      8,
+		ReadAheadBudget:   budget,
+	})
+	cli := dialT(t, addr)
+	defer cli.Shutdown()
+
+	// Open a few sequential views, pausing so prefetches land and stack
+	// up as unclaimed bytes; the client never reads, so nothing else
+	// drains the cache. One view is ~4KiB, so the second completed
+	// prefetch crosses the budget.
+	maxView := 0
+	for iter := 0; iter < 6; iter++ {
+		path := fmt.Sprintf("/train/0/%d/view", iter)
+		fd, err := cli.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(newProvider().payload(path)); n > maxView {
+			maxView = n
+		}
+		cli.Close(fd)
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := srv.Stats()
+	if st.ReadaheadBrakes == 0 {
+		t.Fatalf("brake never engaged: bytes=%d grows=%d shrinks=%d", st.ReadaheadBytes, st.ReadaheadGrows, st.ReadaheadShrinks)
+	}
+	// Once over budget no new prefetches are issued, so unclaimed bytes
+	// can overshoot by at most the prefetches already in flight.
+	bound := int64(budget + 8*maxView)
+	if st.ReadaheadBytes > bound {
+		t.Fatalf("unclaimed prefetch bytes = %d, want ≤ %d", st.ReadaheadBytes, bound)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().ReadaheadBytes; got != 0 {
+		t.Fatalf("ReadaheadBytes after Close = %d, want 0", got)
+	}
+}
+
+// TestReadAheadZeroDisables: the zero value now means "no prefetch",
+// not "default depth" — opens neither hit nor miss the cache.
+func TestReadAheadZeroDisables(t *testing.T) {
+	srv, _, addr := startServer(t, Options{ReadAhead: 0})
+	cli := dialT(t, addr)
+	defer cli.Shutdown()
+	for iter := 0; iter < 4; iter++ {
+		fd, err := cli.Open(fmt.Sprintf("/train/0/%d/view", iter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli.Close(fd)
+	}
+	st := srv.Stats()
+	if st.ReadaheadHits != 0 || st.ReadaheadMisses != 0 {
+		t.Fatalf("ReadAhead:0 still touched the prefetch cache: hits=%d misses=%d", st.ReadaheadHits, st.ReadaheadMisses)
+	}
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Closed-loop scheduling benchmark harness: runs the sandbench "sched"
+# experiment (premat overload with admission control on/off, an
+# uncontended real-engine run with the SLO armed/disarmed, and
+# sequential remote reads with fixed vs adaptive read-ahead) and writes
+# BENCH_sched.json at the repo root from its METRIC lines. Gates:
+#
+#   - overload improvement >= 2x   (demand queue-wait p99, steady state)
+#   - uncontended overhead <= 1.15 (admission bookkeeping must be free)
+#   - adaptive hit rate >= fixed - 0.05
+#   - stalled client stays inside the prefetch byte budget bound
+#
+# Usage: scripts/bench_sched.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_sched.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== sandbench -exp sched"
+go run ./cmd/sandbench -exp sched | tee "$TMP"
+
+awk '
+$1 == "METRIC" { m[$2] = $3 }
+END {
+  need = "sched.overload.static_p99_ns sched.overload.closed_p99_ns sched.overload.improvement " \
+         "sched.uncontended.off_ns sched.uncontended.on_ns sched.uncontended.overhead " \
+         "sched.readahead.fixed_hitrate sched.readahead.adaptive_hitrate " \
+         "sched.readahead.stalled_max_pinned sched.readahead.stalled_bounded"
+  n = split(need, keys, " ")
+  for (i = 1; i <= n; i++) {
+    if (!(keys[i] in m)) { print "bench_sched: missing metric " keys[i] > "/dev/stderr"; exit 1 }
+  }
+  printf "{\n"
+  printf "  \"overload\": {\"static_p99_ns\": %d, \"closed_p99_ns\": %d, \"improvement\": %.2f},\n", \
+    m["sched.overload.static_p99_ns"], m["sched.overload.closed_p99_ns"], m["sched.overload.improvement"]
+  printf "  \"uncontended\": {\"off_ns\": %d, \"on_ns\": %d, \"overhead\": %.3f},\n", \
+    m["sched.uncontended.off_ns"], m["sched.uncontended.on_ns"], m["sched.uncontended.overhead"]
+  printf "  \"readahead\": {\"fixed_hitrate\": %.4f, \"adaptive_hitrate\": %.4f, \"stalled_max_pinned\": %d, \"stalled_bounded\": %s}\n", \
+    m["sched.readahead.fixed_hitrate"], m["sched.readahead.adaptive_hitrate"], \
+    m["sched.readahead.stalled_max_pinned"], (m["sched.readahead.stalled_bounded"] == 1 ? "true" : "false")
+  printf "}\n"
+  if (m["sched.overload.improvement"] < 2.0) {
+    printf "bench_sched: overload improvement %.2fx below the 2x floor\n", m["sched.overload.improvement"] > "/dev/stderr"; exit 1
+  }
+  if (m["sched.uncontended.overhead"] > 1.15) {
+    printf "bench_sched: uncontended overhead %.3f above the 1.15 ceiling\n", m["sched.uncontended.overhead"] > "/dev/stderr"; exit 1
+  }
+  if (m["sched.readahead.adaptive_hitrate"] < m["sched.readahead.fixed_hitrate"] - 0.05) {
+    printf "bench_sched: adaptive hit rate %.4f trails fixed %.4f by more than 0.05\n", \
+      m["sched.readahead.adaptive_hitrate"], m["sched.readahead.fixed_hitrate"] > "/dev/stderr"; exit 1
+  }
+  if (m["sched.readahead.stalled_bounded"] != 1) {
+    print "bench_sched: stalled client exceeded the prefetch byte bound" > "/dev/stderr"; exit 1
+  }
+}
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
+cat "$OUT"

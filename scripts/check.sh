@@ -54,6 +54,13 @@ echo "== zero-copy dataplane smoke (8 shards, 1 MiB budget)"
 # no response went out by reference.
 go run ./examples/remote -store-shards 8 -mem-budget-mb 1 >/dev/null
 
+echo "== closed-loop scheduling smoke (admission control + adaptive read-ahead gates)"
+# Runs the sched experiment end to end: admission control must engage
+# under premat overload and beat the static baseline >= 2x on demand
+# p99, cost free when uncontended, and adaptive read-ahead must match
+# the fixed depth while bounding a stalled client — see DESIGN.md §11.
+./scripts/bench_sched.sh >/dev/null
+
 echo "== trace smoke"
 ./scripts/trace_smoke.sh
 
