@@ -34,6 +34,10 @@ type HarnessOptions struct {
 	Nodes int
 	// Task is the training task every node serves.
 	Task *config.Task
+	// ExtraTasks are additional tasks registered on every node (and the
+	// baseline) alongside Task — never read by the harness itself, but
+	// they shape shared planning state such as coordinated crop windows.
+	ExtraTasks []*config.Task
 	// Dataset is shared by every node (views derive from (config, seed),
 	// so sharing the in-memory dataset is safe).
 	Dataset *dataset.Dataset
@@ -114,9 +118,13 @@ func NewFleetHarness(opts HarnessOptions) (*FleetHarness, error) {
 	return h, nil
 }
 
+func (h *FleetHarness) tasks() []*config.Task {
+	return append([]*config.Task{h.opts.Task}, h.opts.ExtraTasks...)
+}
+
 func (h *FleetHarness) newService() (*core.Service, error) {
 	return core.New(core.Options{
-		Tasks:       []*config.Task{h.opts.Task},
+		Tasks:       h.tasks(),
 		Dataset:     h.opts.Dataset,
 		ChunkEpochs: h.opts.ChunkEpochs,
 		TotalEpochs: h.opts.TotalEpochs,
@@ -131,7 +139,7 @@ func (h *FleetHarness) newService() (*core.Service, error) {
 func (h *FleetHarness) startNode(i int, ann fleet.LocalAnnouncer) (*HarnessNode, error) {
 	reg := obs.New()
 	svc, err := core.New(core.Options{
-		Tasks:       []*config.Task{h.opts.Task},
+		Tasks:       h.tasks(),
 		Dataset:     h.opts.Dataset,
 		ChunkEpochs: h.opts.ChunkEpochs,
 		TotalEpochs: h.opts.TotalEpochs,

@@ -431,12 +431,18 @@ func (c *gopCache) publishDerived(e *gopEntry, slot *derivedSlot, f *frame.Frame
 }
 
 // abandonDerived completes a failed flight: the slot is removed so a
-// later claimant can retry, and waiters observe a nil frame.
+// later claimant can retry, and waiters observe a nil frame. The
+// entry's reuse credit is revoked too — its live hit count and any
+// ghost-history credit under its key — so a persistently failing
+// superset cannot keep readmitting itself ahead of healthy GOPs on the
+// strength of hits it never converted into usable frames.
 func (c *gopCache) abandonDerived(e *gopEntry, dk string, slot *derivedSlot) {
 	c.mu.Lock()
 	if e.derived[dk] == slot {
 		delete(e.derived, dk)
 	}
+	e.hits = 0
+	delete(c.ghost, e.key)
 	c.mu.Unlock()
 	close(slot.ready)
 }
@@ -550,50 +556,109 @@ func (l *gopLease) entryFor(ent *dataset.Entry, idx int) (*gopEntry, error) {
 	return fresh, nil
 }
 
-// staticBetween reports whether the video stayed (approximately) still
-// from frame prevIdx to frame idx: every residual tile's accumulated
-// mean magnitude across frames prevIdx+1..idx is below thresh. The
-// second return is the fraction of tiles below the threshold (0 when the
-// gap could not be evaluated), feeding the static-fraction histogram.
-// It only answers true from cached residual summaries — the gap must sit
-// inside one GOP already pinned by this lease with no keyframe and no
-// missing summary in between; anything else conservatively reports
-// false. The accumulated per-tile mean is a sum of mod-256
-// minimal-magnitude residuals, so the check is a heuristic, not a bound
-// — callers needing bit-exact output must not gate on it.
-func (l *gopLease) staticBetween(ent *dataset.Entry, prevIdx, idx int, thresh float64) (bool, float64) {
+// tileMask is a per-tile verdict on one inter-frame gap: static[t] is
+// true when tile t's accumulated residual mean stayed below the gate
+// threshold. Tiles follow codec.ResidualTile geometry over the source
+// frame.
+type tileMask struct {
+	w, h           int // source frame geometry the tiles cover
+	tilesX, tilesY int
+	static         []bool
+	staticCount    int
+}
+
+// allStatic reports whether every tile passed the gate.
+func (m *tileMask) allStatic() bool { return m.staticCount == len(m.static) }
+
+// staticFrac is the fraction of tiles that passed the gate.
+func (m *tileMask) staticFrac() float64 {
+	if len(m.static) == 0 {
+		return 0
+	}
+	return float64(m.staticCount) / float64(len(m.static))
+}
+
+// dynamicBounds returns the bounding box, in source pixels, of every
+// tile that failed the gate (zero-size when all tiles are static).
+func (m *tileMask) dynamicBounds() (x, y, w, h int) {
+	x0, y0, x1, y1 := m.w, m.h, 0, 0
+	for ty := 0; ty < m.tilesY; ty++ {
+		for tx := 0; tx < m.tilesX; tx++ {
+			if m.static[ty*m.tilesX+tx] {
+				continue
+			}
+			px0, py0 := tx*codec.ResidualTile, ty*codec.ResidualTile
+			px1, py1 := px0+codec.ResidualTile, py0+codec.ResidualTile
+			if px1 > m.w {
+				px1 = m.w
+			}
+			if py1 > m.h {
+				py1 = m.h
+			}
+			if px0 < x0 {
+				x0 = px0
+			}
+			if py0 < y0 {
+				y0 = py0
+			}
+			if px1 > x1 {
+				x1 = px1
+			}
+			if py1 > y1 {
+				y1 = py1
+			}
+		}
+	}
+	if x0 >= x1 || y0 >= y1 {
+		return 0, 0, 0, 0
+	}
+	return x0, y0, x1 - x0, y1 - y0
+}
+
+// residualMask evaluates the gap from frame prevIdx to frame idx tile by
+// tile: each residual tile's accumulated mean magnitude across frames
+// prevIdx+1..idx is compared against thresh. It only answers from cached
+// residual summaries — the gap must sit inside one GOP already pinned by
+// this lease with no keyframe and no missing summary in between;
+// anything else conservatively returns nil (callers must treat that as
+// fully dynamic). The accumulated per-tile mean is a sum of mod-256
+// minimal-magnitude residuals, so a nonzero-threshold verdict is a
+// heuristic, not a bound — but an accumulated sum of exactly zero does
+// certify the tile's pixels are bit-identical across the gap, which is
+// what makes tile-gated recompute exact on truly static content.
+func (l *gopLease) residualMask(ent *dataset.Entry, prevIdx, idx int, thresh float64) *tileMask {
 	if prevIdx < 0 || idx <= prevIdx || thresh <= 0 {
-		return false, 0
+		return nil
 	}
 	k, err := ent.Video.KeyframeBefore(idx)
 	if err != nil || k > prevIdx {
-		return false, 0 // a keyframe interrupts the gap (or lookup failed)
+		return nil // a keyframe interrupts the gap (or lookup failed)
 	}
 	key := gopKey{video: ent.Spec.Name, start: k}
 	l.mu.Lock()
 	e := l.held[key]
 	l.mu.Unlock()
 	if e == nil {
-		return false, 0
+		return nil
 	}
 	<-e.ready
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.err != nil || idx > e.decodedThrough || len(e.residuals) <= idx-k {
-		return false, 0
+		return nil
 	}
 	var acc []uint32
 	var tilesX, tilesY int
 	for j := prevIdx + 1; j <= idx; j++ {
 		r := e.residuals[j-k]
 		if r == nil || r.IFrame {
-			return false, 0
+			return nil
 		}
 		if acc == nil {
 			tilesX, tilesY = r.TilesX, r.TilesY
 			acc = make([]uint32, len(r.SumAbs))
 		} else if r.TilesX != tilesX || r.TilesY != tilesY {
-			return false, 0
+			return nil
 		}
 		for t, v := range r.SumAbs {
 			acc[t] += v
@@ -602,7 +667,7 @@ func (l *gopLease) staticBetween(ent *dataset.Entry, prevIdx, idx int, thresh fl
 	// Compare each tile's accumulated mean (per pixel-sample, clipped edge
 	// tiles use their true area) against the threshold.
 	w, h, ch := ent.Video.W, ent.Video.H, ent.Video.C
-	static := 0
+	m := &tileMask{w: w, h: h, tilesX: tilesX, tilesY: tilesY, static: make([]bool, tilesX*tilesY)}
 	for ty := 0; ty < tilesY; ty++ {
 		th := codec.ResidualTile
 		if (ty+1)*codec.ResidualTile > h {
@@ -614,12 +679,45 @@ func (l *gopLease) staticBetween(ent *dataset.Entry, prevIdx, idx int, thresh fl
 				tw = w - tx*codec.ResidualTile
 			}
 			if float64(acc[ty*tilesX+tx]) < thresh*float64(tw*th*ch) {
-				static++
+				m.static[ty*tilesX+tx] = true
+				m.staticCount++
 			}
 		}
 	}
-	total := tilesX * tilesY
-	return static == total, float64(static) / float64(total)
+	return m
+}
+
+// staticBetween reports whether the video stayed (approximately) still
+// from frame prevIdx to frame idx — every tile of the residual mask
+// passed the gate — plus the static-tile fraction for the histogram (0
+// when the gap could not be evaluated).
+func (l *gopLease) staticBetween(ent *dataset.Entry, prevIdx, idx int, thresh float64) (bool, float64) {
+	m := l.residualMask(ent, prevIdx, idx, thresh)
+	if m == nil {
+		return false, 0
+	}
+	return m.allStatic(), m.staticFrac()
+}
+
+// heat reports the observed acquire count of the pinned GOP entry
+// covering frame idx — the popularity score the engine threads into the
+// object store's tiering when it persists frames derived from this GOP —
+// or 0 when the lease does not hold that GOP.
+func (l *gopLease) heat(ent *dataset.Entry, idx int) int64 {
+	k, err := ent.Video.KeyframeBefore(idx)
+	if err != nil {
+		return 0
+	}
+	l.mu.Lock()
+	e := l.held[gopKey{video: ent.Spec.Name, start: k}]
+	l.mu.Unlock()
+	if e == nil {
+		return 0
+	}
+	l.c.mu.Lock()
+	h := e.hits
+	l.c.mu.Unlock()
+	return h
 }
 
 // release unpins every GOP the lease holds. The lease is unusable after.

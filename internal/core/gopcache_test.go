@@ -650,3 +650,58 @@ func TestGOPCacheDerivedFrames(t *testing.T) {
 		t.Fatalf("bytes %d after evicting sole entry (had %d); derived frames leaked", leftover, bytesWithDerived)
 	}
 }
+
+// TestGOPCacheAbandonRevokesReuseCredit: abandoning a derived flight must
+// revoke the entry's reuse credit — both its live hit count and any
+// ghost-history credit under its key — so a persistently failing
+// superset cannot keep readmitting itself ahead of healthy GOPs on the
+// strength of hits it never converted into usable frames.
+func TestGOPCacheAbandonRevokesReuseCredit(t *testing.T) {
+	ent := gopTestEntry(t, "abandon", 10, 10)
+	c := newGOPCache(1<<30, nil, false)
+	lease := c.lease()
+	defer lease.release()
+	// Build up reuse history on the GOP.
+	for i := 0; i < 5; i++ {
+		if _, err := c.frameOnce(ent, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := lease.entryFor(ent, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	if e.hits == 0 {
+		c.mu.Unlock()
+		t.Fatal("setup failed: no hit credit accumulated")
+	}
+	// Plant stale ghost credit under the key, as a previous eviction
+	// would have left it.
+	c.ghost[e.key] = 7
+	c.mu.Unlock()
+
+	_, claim := c.claimDerived(e, "dk")
+	if claim == nil {
+		t.Fatal("no leadership for fresh descriptor")
+	}
+	c.abandonDerived(e, "dk", claim)
+
+	c.mu.Lock()
+	hits := e.hits
+	_, ghosted := c.ghost[e.key]
+	c.mu.Unlock()
+	if hits != 0 {
+		t.Fatalf("live hit credit survived abandon: hits = %d, want 0", hits)
+	}
+	if ghosted {
+		t.Fatal("ghost credit survived abandon")
+	}
+	// The slot is cleared: the next claimant leads again instead of
+	// observing the dead flight.
+	if _, cl := c.claimDerived(e, "dk"); cl == nil {
+		t.Fatal("abandoned flight did not allow a retry")
+	} else {
+		c.abandonDerived(e, "dk", cl)
+	}
+}

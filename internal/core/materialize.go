@@ -71,6 +71,14 @@ func nodeAtDepth(leaf *graph.Node, total, d int) *graph.Node {
 // scheduling deadline attached to objects it stores; tid correlates the
 // emitted spans with the batch that requested the sample.
 func (s *Service) materializeSampleClip(sm *graph.Sample, deadline int64, tid obs.TraceID) (*frame.Clip, error) {
+	// Standalone samples plan as a batch of one — the degenerate form of
+	// the batch planner, equivalent to the old per-sample plan.
+	return s.materializeSampleAt(sm, 0, s.buildBatchReusePlan([]*graph.Sample{sm}), deadline, tid)
+}
+
+// materializeSampleAt is materializeSampleClip under an externally built
+// (batch-scoped) reuse plan; si is the sample's index within the plan.
+func (s *Service) materializeSampleAt(sm *graph.Sample, si int, plan *reusePlan, deadline int64, tid obs.TraceID) (*frame.Clip, error) {
 	var spanStart int64
 	if traced := s.tr.Enabled(); traced {
 		spanStart = s.tr.Now()
@@ -84,11 +92,10 @@ func (s *Service) materializeSampleClip(sm *graph.Sample, deadline int64, tid ob
 	}
 	lease := s.gops.lease()
 	defer lease.release()
-	plan := s.buildReusePlan(sm, ent)
 
 	var out []*frame.Frame
 	for ci, chain := range sm.Chains {
-		clipFrames, err := s.materializeChain(sm, ci, chain, ent, lease, plan, deadline, tid)
+		clipFrames, err := s.materializeChain(sm, si, ci, chain, ent, lease, plan, deadline, tid)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +115,7 @@ func (s *Service) materializeSampleClip(sm *graph.Sample, deadline int64, tid ob
 // a bounded worker group when the scheduling pool has idle capacity.
 // Output order is deterministic regardless of worker count: workers write
 // only their own out[pos] slot.
-func (s *Service) materializeChain(sm *graph.Sample, ci int, chain *graph.ResolvedChain,
+func (s *Service) materializeChain(sm *graph.Sample, si, ci int, chain *graph.ResolvedChain,
 	ent *dataset.Entry, lease *gopLease, plan *reusePlan, deadline int64, tid obs.TraceID) ([]*frame.Frame, error) {
 
 	total := len(chain.Ops)
@@ -116,7 +123,7 @@ func (s *Service) materializeChain(sm *graph.Sample, ci int, chain *graph.Resolv
 	// One Enabled() check per chain: the off path adds a single bool test
 	// per frame, no defers, no formatting.
 	traced := s.tr.Enabled()
-	grp := plan.groupFor(ci)
+	grp := plan.groupFor(si, ci)
 	// Grouped chains skip shallow cached prefixes: anything at or above
 	// the crop depth is served better through the shared superset.
 	stopDepth := -1
@@ -144,14 +151,14 @@ func (s *Service) materializeChain(sm *graph.Sample, ci int, chain *graph.Resolv
 		case grp != nil:
 			// Overlapping-view fast path: slice this chain's crop out of
 			// the group's shared superset region, then run the suffix.
-			f, err = s.supersetView(sm, ci, chain, grp, ent, lease, idx, deadline)
+			f, err = s.supersetView(sm, si, ci, chain, grp, ent, lease, idx, deadline)
 			if err != nil {
 				return err
 			}
 			fromDepth = grp.depth + 1
 			if node := nodeAtDepth(findLeaf(sm, ci, idx), total, fromDepth); node != nil && node.Cached {
 				key := augKey(sm.Video, idx, cumulativeSig(chain.Ops, fromDepth))
-				if err := s.storeFrame(key, f, deadline, false); err != nil {
+				if err := s.storeFrame(key, f, deadline, false, lease.heat(ent, idx)); err != nil {
 					return err
 				}
 			}
@@ -166,7 +173,7 @@ func (s *Service) materializeChain(sm *graph.Sample, ci int, chain *graph.Resolv
 			fromDepth = 0
 			// Cache the decoded frame if the plan says so.
 			if fn := nodeAtDepth(sm.Leaves[ci][pos], total, 0); fn != nil && fn.Cached {
-				if err := s.storeFrame(frameKey(sm.Video, idx), f, deadline, false); err != nil {
+				if err := s.storeFrame(frameKey(sm.Video, idx), f, deadline, false, lease.heat(ent, idx)); err != nil {
 					return err
 				}
 			}
@@ -183,7 +190,7 @@ func (s *Service) materializeChain(sm *graph.Sample, ci int, chain *graph.Resolv
 	if s.opts.Reuse.ResidualGate {
 		// The gate compares each frame against its predecessor's output,
 		// so positions must materialize in order.
-		if err := s.materializeGated(sm, ent, lease, out, work); err != nil {
+		if err := s.materializeGated(sm, chain, ent, lease, out, work); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -254,30 +261,36 @@ func (s *Service) intraSampleWorkers(n int) int {
 
 // materializeGated runs the chain's positions serially, letting frames
 // whose accumulated codec residual stays below the configured threshold
-// copy the previous position's augmented output instead of recomputing
-// the chain (residual-gated augmentation). The gate is approximate —
-// residual magnitudes are minimal mod-256 representatives, not bounds —
-// so it only runs when Options.Reuse.ResidualGate opted in; exact mode
-// is simply the gate left off.
-func (s *Service) materializeGated(sm *graph.Sample, ent *dataset.Entry, lease *gopLease,
-	out []*frame.Frame, work func(pos, idx int) error) error {
+// reuse the previous position's augmented output instead of recomputing
+// the chain (residual-gated augmentation). Gating is tile-granular: a
+// fully static gap copies the previous output forward, a partially
+// static gap on an analyzable chain recomputes only the output
+// rectangle the moving tiles influence and splices it in (tilegate.go),
+// and everything else recomputes in full. The nonzero-threshold gate is
+// approximate — residual magnitudes are minimal mod-256 representatives,
+// not bounds — so it only runs when Options.Reuse.ResidualGate opted in;
+// exact mode is simply the gate left off.
+func (s *Service) materializeGated(sm *graph.Sample, chain *graph.ResolvedChain,
+	ent *dataset.Entry, lease *gopLease, out []*frame.Frame, work func(pos, idx int) error) error {
 	thresh := s.opts.Reuse.ResidualThreshold
+	plan := s.buildTilePlan(chain, ent)
 	prevIdx := -1
 	for pos, idx := range sm.FrameIndices {
 		if pos > 0 && idx > prevIdx && out[pos-1] != nil {
 			s.residualChecked.Add(1)
-			still, frac := lease.staticBetween(ent, prevIdx, idx, thresh)
-			s.histStatic.Observe(int64(frac * 10000))
-			if still {
-				s.residualSkipped.Add(1)
-				prev := out[pos-1]
-				cp := frame.NewPooled(prev.W, prev.H, prev.C)
-				copy(cp.Pix, prev.Pix)
-				cp.Index = idx
-				cp.PTS = int64(idx) * 1000 / int64(ent.Video.FPS)
-				out[pos] = cp
-				prevIdx = idx
-				continue
+			mask := lease.residualMask(ent, prevIdx, idx, thresh)
+			if mask != nil {
+				s.histStatic.Observe(int64(mask.staticFrac() * 10000))
+				done, err := s.gatedReuse(plan, mask, ent, lease, out, pos, idx)
+				if err != nil {
+					return err
+				}
+				if done {
+					prevIdx = idx
+					continue
+				}
+			} else {
+				s.histStatic.Observe(0)
 			}
 		}
 		if err := work(pos, idx); err != nil {
@@ -376,7 +389,7 @@ func (s *Service) applyOpsRange(sm *graph.Sample, ci int, chain *graph.ResolvedC
 		}
 		if node := nodeAtDepth(findLeaf(sm, ci, idx), total, d+1); node != nil && node.Cached {
 			key := augKey(sm.Video, idx, cumulativeSig(chain.Ops, d+1))
-			if err := s.storeFrame(key, cur, deadline, false); err != nil {
+			if err := s.storeFrame(key, cur, deadline, false, 0); err != nil {
 				return nil, err
 			}
 		}
@@ -395,14 +408,31 @@ func findLeaf(sm *graph.Sample, ci int, idx int) *graph.Node {
 	return nil
 }
 
+// hotHeat is the GOP acquire count at which a stored object counts as
+// hot: frames derived from a GOP this popular are encoded decode-cheap
+// (stored zlib blocks) and tagged so the store keeps them in memory in
+// preference to cold objects, which spill to disk compressed.
+const hotHeat = 2
+
 // storeFrame serializes and stores a frame object, persisting it when a
-// disk tier exists (fault tolerance for unpruned objects).
-func (s *Service) storeFrame(key string, f *frame.Frame, deadline int64, ephemeral bool) error {
-	data, err := frame.EncodeFrame(f)
+// disk tier exists (fault tolerance for unpruned objects). heat is the
+// popularity of the source GOP the frame derives from (0 when unknown):
+// hot objects trade bytes for read speed and outrank cold ones in the
+// store's eviction order.
+func (s *Service) storeFrame(key string, f *frame.Frame, deadline int64, ephemeral bool, heat int64) error {
+	var data []byte
+	var err error
+	tier := int64(0)
+	if heat >= hotHeat {
+		data, err = frame.EncodeFrameFast(f)
+		tier = heat
+	} else {
+		data, err = frame.EncodeFrame(f)
+	}
 	if err != nil {
 		return err
 	}
-	obj := &storage.Object{Key: key, Data: data, Deadline: deadline, Ephemeral: ephemeral}
+	obj := &storage.Object{Key: key, Data: data, Deadline: deadline, Ephemeral: ephemeral, Heat: tier}
 	if err := s.store.Put(obj); err != nil {
 		return err
 	}
@@ -444,9 +474,23 @@ func (s *Service) materializeBatch(key iterationKey, deadline int64, tid obs.Tra
 	if len(samples) == 0 {
 		return fmt.Errorf("%w: empty iteration %v", vfs.ErrNotExist, key)
 	}
+	// Batch-scoped reuse planning: one pass over every sample of the
+	// iteration, so overlapping views group across samples and the first
+	// sample's superset feeds its siblings through the derived store.
+	// DisableBatchScope restores the legacy per-sample planning exactly.
+	var plan *reusePlan
+	if !s.opts.Reuse.DisableBatchScope {
+		plan = s.buildBatchReusePlan(samples)
+	}
 	batch := &frame.Batch{Epoch: key.epoch, Iteration: key.iter}
-	for _, sm := range samples {
-		clip, err := s.materializeSampleClip(sm, deadline, tid)
+	for si, sm := range samples {
+		var clip *frame.Clip
+		var err error
+		if s.opts.Reuse.DisableBatchScope {
+			clip, err = s.materializeSampleClip(sm, deadline, tid)
+		} else {
+			clip, err = s.materializeSampleAt(sm, si, plan, deadline, tid)
+		}
 		if err != nil {
 			return err
 		}

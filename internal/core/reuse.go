@@ -2,12 +2,20 @@ package core
 
 // Overlap-aware computation reuse (DESIGN.md §9). The concrete-graph
 // merge unifies chains whose op prefixes are *identical*; this layer
-// exploits chains that are merely *similar*: multiple views of one
-// sample whose crop windows overlap share everything up to the crop, so
-// the engine materializes the prefix once, slices one bounding-superset
-// region per source frame, and serves each view's crop as a sub-slice.
-// Crop-of-crop composition makes the rewrite exact — byte-identical to
-// the per-chain baseline — which is why it is on by default.
+// exploits chains that are merely *similar*: views whose crop windows
+// overlap share everything up to the crop, so the engine materializes
+// the prefix once, slices one bounding-superset region per source
+// frame, and serves each view's crop as a sub-slice. Crop-of-crop
+// composition makes the rewrite exact — byte-identical to the per-chain
+// baseline — which is why it is on by default.
+//
+// Plans are *batch-scoped*: the planner groups chains across every
+// sample of an iteration, not just within one sample, so two samples of
+// the same batch that crop the same source region share one superset
+// materialization through the decoded-GOP cache's single-flight derived
+// store. Cross-sample groups are what the per-sample planner could
+// never see — a single-chain sample has nothing to pair with on its
+// own, but four single-chain samples of one video usually do.
 
 import (
 	"fmt"
@@ -47,76 +55,106 @@ func (r cropRect) union(o cropRect) cropRect {
 	return cropRect{x0, y0, x1 - x0, y1 - y0}
 }
 
-// reuseGroup ties together the chains of one sample that share an
-// identical op prefix and overlapping crop windows at the same depth.
-// All members read the same intermediate frame at depth `depth`, so one
-// superset crop of it serves every member.
+// memberKey addresses one chain of one sample within a batch plan.
+type memberKey struct{ si, ci int }
+
+// reuseGroup ties together the chains — across all samples of a batch —
+// that read the same video, share an identical op prefix, and whose crop
+// windows at that depth overlap. All members read the same intermediate
+// frame at depth `depth`, so one superset crop of it serves every
+// member.
 type reuseGroup struct {
-	depth     int              // op index of the crop stage in every member
-	prefixSig string           // cumulative signature of ops[:depth]
-	sup       cropRect         // bounding superset of the member windows
-	members   map[int]cropRect // chain index -> that chain's window
+	depth     int                    // op index of the crop stage in every member
+	prefixSig string                 // cumulative signature of ops[:depth]
+	sup       cropRect               // bounding superset of the member windows
+	members   map[memberKey]cropRect // (sample, chain) -> that chain's window
+	xsample   bool                   // members span more than one sample
 }
 
 // derivedKey names the superset frame for source frame idx in the
 // decoded-GOP cache's derived store. The signature prefix and window
-// pin the exact computation, so distinct groups never collide.
+// pin the exact computation, so distinct groups never collide — and
+// groups from different batches that resolve to the same prefix and
+// union window share the same derived frames for free.
 func (g *reuseGroup) derivedKey(idx int) string {
 	return fmt.Sprintf("f%d|%s|%d.%d.%d.%d", idx, g.prefixSig, g.sup.x, g.sup.y, g.sup.w, g.sup.h)
 }
 
-// reusePlan maps a sample's chain indices to their reuse groups. A nil
-// plan (or an unlisted chain) means the baseline path.
+// reusePlan maps a batch's (sample, chain) pairs to their reuse groups.
+// A nil plan (or an unlisted member) means the baseline path.
 type reusePlan struct {
-	byChain map[int]*reuseGroup
+	byMember map[memberKey]*reuseGroup
 }
 
-func (p *reusePlan) groupFor(ci int) *reuseGroup {
+func (p *reusePlan) groupFor(si, ci int) *reuseGroup {
 	if p == nil {
 		return nil
 	}
-	return p.byChain[ci]
+	return p.byMember[memberKey{si, ci}]
 }
 
-// buildReusePlan inspects one sample's resolved chains for superset
-// opportunities. For each chain it walks the op list tracking frame
-// geometry, takes the first crop stage that exposes a concrete window
-// (augment.RegionOp), and groups chains by (depth, prefix signature) —
-// same prefix means the same input pixels at the crop, because resolved
-// ops are deterministic. Within a group, connected components under
-// strict overlap of two or more windows become reuse groups. Everything
-// else falls through to the baseline, so disjoint windows cost nothing.
-func (s *Service) buildReusePlan(sm *graph.Sample, ent *dataset.Entry) *reusePlan {
-	if s.opts.Reuse.DisableSuperset || len(sm.Chains) < 2 || ent.Video == nil {
+// buildBatchReusePlan inspects a batch's resolved chains — across every
+// sample — for superset opportunities. For each chain it walks the op
+// list tracking frame geometry, takes the first crop stage that exposes
+// a concrete window (augment.RegionOp), and groups chains by (video,
+// depth, prefix signature) — same video and prefix means the same input
+// pixels at the crop, because resolved ops are deterministic. Within a
+// group, connected components under strict overlap of two or more
+// windows become reuse groups. Everything else falls through to the
+// baseline, so disjoint windows cost nothing. Passing a single sample
+// reproduces the per-sample plan exactly (groups then never cross
+// samples); Reuse.DisableBatchScope routes through that degenerate
+// form.
+//
+// The plan is deterministic regardless of map iteration order: group
+// membership is a connected component (order-independent) and the
+// superset is a bounding box (an order-independent fold).
+func (s *Service) buildBatchReusePlan(samples []*graph.Sample) *reusePlan {
+	if s.opts.Reuse.DisableSuperset || len(samples) == 0 {
 		return nil
 	}
 	type cand struct {
-		ci, depth int
-		sig       string
-		rect      cropRect
+		si, ci, depth int
+		sig           string
+		rect          cropRect
 	}
-	var cands []cand
-	for ci, chain := range sm.Chains {
-		w, h, c := ent.Video.W, ent.Video.H, ent.Video.C
-		for d, rop := range chain.Ops {
-			if reg, ok := rop.Op.(augment.RegionOp); ok {
-				if x, y, rw, rh, concrete := reg.Region(w, h); concrete {
-					cands = append(cands, cand{ci, d, cumulativeSig(chain.Ops, d), cropRect{x, y, rw, rh}})
-					break // the first concrete crop anchors this chain
-				}
+	// Candidates keyed by video|depth|prefix; entries resolved at most
+	// once per video.
+	byPrefix := map[string][]cand{}
+	ds := s.snapshot()
+	ents := map[string]*dataset.Entry{}
+	total := 0
+	for si, sm := range samples {
+		ent, ok := ents[sm.Video]
+		if !ok {
+			if e, found := ds.Find(sm.Video); found {
+				ent = e
 			}
-			w, h, c = graph.OpOutputGeometry(rop.Op, w, h, c)
+			ents[sm.Video] = ent
+		}
+		if ent == nil || ent.Video == nil {
+			continue
+		}
+		for ci, chain := range sm.Chains {
+			w, h, c := ent.Video.W, ent.Video.H, ent.Video.C
+			for d, rop := range chain.Ops {
+				if reg, ok := rop.Op.(augment.RegionOp); ok {
+					if x, y, rw, rh, concrete := reg.Region(w, h); concrete {
+						sig := cumulativeSig(chain.Ops, d)
+						k := fmt.Sprintf("%s|%d|%s", sm.Video, d, sig)
+						byPrefix[k] = append(byPrefix[k], cand{si, ci, d, sig, cropRect{x, y, rw, rh}})
+						total++
+						break // the first concrete crop anchors this chain
+					}
+				}
+				w, h, c = graph.OpOutputGeometry(rop.Op, w, h, c)
+			}
 		}
 	}
-	if len(cands) < 2 {
+	if total < 2 {
 		return nil
 	}
-	byPrefix := map[string][]cand{}
-	for _, cd := range cands {
-		k := fmt.Sprintf("%d|%s", cd.depth, cd.sig)
-		byPrefix[k] = append(byPrefix[k], cd)
-	}
-	plan := &reusePlan{byChain: map[int]*reuseGroup{}}
+	plan := &reusePlan{byMember: map[memberKey]*reuseGroup{}}
 	for _, peers := range byPrefix {
 		if len(peers) < 2 {
 			continue
@@ -146,29 +184,37 @@ func (s *Service) buildReusePlan(sm *graph.Sample, ent *dataset.Entry) *reusePla
 				depth:     peers[i].depth,
 				prefixSig: peers[i].sig,
 				sup:       peers[comp[0]].rect,
-				members:   map[int]cropRect{},
+				members:   map[memberKey]cropRect{},
 			}
 			for _, j := range comp {
 				g.sup = g.sup.union(peers[j].rect)
-				g.members[peers[j].ci] = peers[j].rect
-				plan.byChain[peers[j].ci] = g
+				mk := memberKey{peers[j].si, peers[j].ci}
+				g.members[mk] = peers[j].rect
+				plan.byMember[mk] = g
+				if peers[j].si != peers[comp[0]].si {
+					g.xsample = true
+				}
+			}
+			if g.xsample {
+				s.xsampleGroups.Add(1)
 			}
 		}
 	}
-	if len(plan.byChain) == 0 {
+	if len(plan.byMember) == 0 {
 		return nil
 	}
 	return plan
 }
 
-// supersetView materializes chain ci's crop for source frame idx through
-// the group's shared superset: the first worker to reach a (frame,
-// group) pair computes the prefix once, slices the bounding region, and
-// publishes it in the decoded-GOP cache's derived store; everyone else
-// slices their window out of the published frame. The returned frame is
-// a pooled copy exclusively owned by the caller, already advanced past
-// the crop stage (depth group.depth+1).
-func (s *Service) supersetView(sm *graph.Sample, ci int, chain *graph.ResolvedChain,
+// supersetView materializes member (si, ci)'s crop for source frame idx
+// through the group's shared superset: the first worker to reach a
+// (frame, group) pair computes the prefix once, slices the bounding
+// region, and publishes it in the decoded-GOP cache's derived store;
+// everyone else — including sibling samples of the batch — slices their
+// window out of the published frame. The returned frame is a pooled
+// copy exclusively owned by the caller, already advanced past the crop
+// stage (depth group.depth+1).
+func (s *Service) supersetView(sm *graph.Sample, si, ci int, chain *graph.ResolvedChain,
 	grp *reuseGroup, ent *dataset.Entry, lease *gopLease, idx int, deadline int64) (*frame.Frame, error) {
 
 	e, err := lease.entryFor(ent, idx)
@@ -183,6 +229,9 @@ func (s *Service) supersetView(sm *graph.Sample, ci int, chain *graph.ResolvedCh
 	var private *frame.Frame // set when computed without publishing
 	if sup != nil {
 		s.supersetHits.Add(1)
+		if grp.xsample {
+			s.xsampleHits.Add(1)
+		}
 	} else {
 		s.supersetMisses.Add(1)
 		fresh, err := s.computeSuperset(sm, ci, chain, grp, ent, lease, idx, deadline)
@@ -203,7 +252,7 @@ func (s *Service) supersetView(sm *graph.Sample, ci int, chain *graph.ResolvedCh
 		}
 		sup = fresh
 	}
-	rect := grp.members[ci]
+	rect := grp.members[memberKey{si, ci}]
 	view, err := sup.SubRect(rect.x-grp.sup.x, rect.y-grp.sup.y, rect.w, rect.h)
 	if private != nil {
 		frame.Recycle(private)

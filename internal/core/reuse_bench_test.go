@@ -99,3 +99,122 @@ func BenchmarkOverlappingViews(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBatchOverlappingViews measures what batch-scoped planning adds
+// over per-sample planning: four single-chain samples per batch whose
+// random crops overlap inside the shared coordination window. A
+// per-sample plan ("sample" arm) has nothing to group — each sample is
+// one chain — so every sample recomputes the resize prefix; the batch
+// plan ("batch" arm) groups the samples' crops into one cross-sample
+// superset served through the derived-frame store. The helper task only
+// widens the shared crop window (it is never materialized); see
+// batchOverlapTasks in reuse_test.go for the workload rationale.
+func BenchmarkBatchOverlappingViews(b *testing.B) {
+	ds, err := dataset.Generate("xsbench", dataset.VideoSpec{
+		W: 96, H: 96, C: 3, Frames: 40, FPS: 30, GOP: 10,
+	}, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name  string
+		reuse ReuseOptions
+	}{
+		{"batch", ReuseOptions{}},
+		{"sample", ReuseOptions{DisableBatchScope: true}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			measured := &config.Task{
+				Tag:         "xs-" + mode.name,
+				Source:      config.SourceFile,
+				DatasetPath: "/data/xsbench",
+				Sampling:    config.Sampling{VideosPerBatch: 1, FramesPerVideo: 6, FrameStride: 2, SamplesPerVideo: 4},
+				Stages: []config.Stage{
+					{
+						Name: "aug", Type: config.BranchSingle,
+						Inputs: []string{"frame"}, Outputs: []string{"out"},
+						Ops: []config.OpSpec{
+							{Op: "resize", Params: map[string]any{"shape": []any{80, 80}}},
+							{Op: "random_crop", Params: map[string]any{"shape": []any{64, 64}}},
+						},
+					},
+				},
+			}
+			helper := &config.Task{
+				Tag:         "zwin-" + mode.name,
+				Source:      config.SourceFile,
+				DatasetPath: "/data/xsbench",
+				Sampling:    config.Sampling{VideosPerBatch: 1, FramesPerVideo: 1, FrameStride: 1, SamplesPerVideo: 1},
+				Stages: []config.Stage{
+					{
+						Name: "wide", Type: config.BranchSingle,
+						Inputs: []string{"frame"}, Outputs: []string{"out"},
+						Ops: []config.OpSpec{
+							{Op: "resize", Params: map[string]any{"shape": []any{80, 80}}},
+							{Op: "random_crop", Params: map[string]any{"shape": []any{72, 72}}},
+						},
+					},
+				},
+			}
+			for _, t := range []*config.Task{measured, helper} {
+				if err := t.Validate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s, err := New(Options{
+				Tasks:         []*config.Task{measured, helper},
+				Dataset:       ds,
+				ChunkEpochs:   2,
+				TotalEpochs:   2,
+				MemBudget:     64 << 20,
+				StorageBudget: 1, // prune store caching: isolate decode+augment
+				// Hold the decoded corpus so both arms measure augmentation,
+				// not decode amplification.
+				GOPCacheBudget: 32 << 20,
+				Workers:        4,
+				Coordinate:     true,
+				Seed:           5,
+				Reuse:          mode.reuse,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			samples, err := s.scheduleFor(iterationKey{measured.Tag, 0, 0})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(samples) < 2 {
+				b.Fatalf("want a multi-sample batch, got %d samples", len(samples))
+			}
+			// The loop body mirrors materializeBatch's per-arm dispatch
+			// (one batch-wide plan vs per-sample planning) without the
+			// batch-payload encode both arms share.
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode.reuse.DisableBatchScope {
+					for _, sm := range samples {
+						if _, err := s.materializeSampleClip(sm, 0, 0); err != nil {
+							b.Fatal(err)
+						}
+					}
+					continue
+				}
+				plan := s.buildBatchReusePlan(samples)
+				for si, sm := range samples {
+					if _, err := s.materializeSampleAt(sm, si, plan, 0, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			if mode.name == "batch" {
+				if rs := s.ReuseStats(); rs.XSampleHits == 0 {
+					b.Fatalf("batch arm produced no cross-sample hits: %+v", rs)
+				}
+			}
+		})
+	}
+}

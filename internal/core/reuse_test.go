@@ -96,8 +96,13 @@ func crop(h, w, x, y int) config.OpSpec {
 // layer shares work.
 func buildReuseService(t testing.TB, task *config.Task, ds *dataset.Dataset, workers int, reuse ReuseOptions) *Service {
 	t.Helper()
+	return buildReuseServiceTasks(t, []*config.Task{task}, ds, workers, reuse)
+}
+
+func buildReuseServiceTasks(t testing.TB, tasks []*config.Task, ds *dataset.Dataset, workers int, reuse ReuseOptions) *Service {
+	t.Helper()
 	s, err := New(Options{
-		Tasks:         []*config.Task{task},
+		Tasks:         tasks,
 		Dataset:       ds,
 		ChunkEpochs:   1,
 		TotalEpochs:   1,
@@ -307,5 +312,194 @@ func TestResidualGateConservativeOnMotion(t *testing.T) {
 	rs := gated.ReuseStats()
 	if rs.ResidualSkipped != 0 {
 		t.Fatalf("gate skipped %d frames at threshold 1e-9 on moving video", rs.ResidualSkipped)
+	}
+}
+
+// batchOverlapTasks builds the two-task workload that makes cross-sample
+// sharing visible. The measured task materializes four single-chain
+// samples per video — a per-sample planner has nothing to group inside a
+// single chain — whose random crops all resolve inside the shared
+// coordination window and therefore overlap. The helper task exists only
+// to widen that window (its crop requirement exceeds the measured one,
+// so measured crops vary within the window instead of collapsing onto
+// it); it samples one frame per video and is never read. Tags matter:
+// the chunk planner sorts tasks alphabetically and places the window in
+// tasks[0]'s pre-crop geometry, so the measured tag must sort first.
+func batchOverlapTasks(tb testing.TB, suffix string) (measured, helper *config.Task) {
+	tb.Helper()
+	measured = &config.Task{
+		Tag:         "xs" + suffix,
+		Source:      config.SourceFile,
+		DatasetPath: "/data/mini",
+		Sampling:    config.Sampling{VideosPerBatch: 1, FramesPerVideo: 6, FrameStride: 2, SamplesPerVideo: 4},
+		Stages: []config.Stage{
+			{
+				Name: "aug", Type: config.BranchSingle,
+				Inputs: []string{"frame"}, Outputs: []string{"out"},
+				Ops: []config.OpSpec{
+					{Op: "resize", Params: map[string]any{"shape": []any{64, 64}}},
+					{Op: "random_crop", Params: map[string]any{"shape": []any{48, 48}}},
+				},
+			},
+		},
+	}
+	helper = &config.Task{
+		Tag:         "zwin" + suffix,
+		Source:      config.SourceFile,
+		DatasetPath: "/data/mini",
+		Sampling:    config.Sampling{VideosPerBatch: 1, FramesPerVideo: 1, FrameStride: 1, SamplesPerVideo: 1},
+		Stages: []config.Stage{
+			{
+				Name: "wide", Type: config.BranchSingle,
+				Inputs: []string{"frame"}, Outputs: []string{"out"},
+				Ops: []config.OpSpec{
+					{Op: "resize", Params: map[string]any{"shape": []any{64, 64}}},
+					{Op: "random_crop", Params: map[string]any{"shape": []any{56, 56}}},
+				},
+			},
+		},
+	}
+	for _, t := range []*config.Task{measured, helper} {
+		if err := t.Validate(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return measured, helper
+}
+
+// TestBatchScopeByteIdentical: batch-scoped planning must fire across
+// samples (nonzero cross-sample hits on a workload of single-chain
+// samples) and stay byte-identical to per-sample planning.
+func TestBatchScopeByteIdentical(t *testing.T) {
+	ds := miniDataset(t, 3)
+	measured, helper := batchOverlapTasks(t, "-id")
+	batch := buildReuseServiceTasks(t, []*config.Task{measured, helper}, ds, 4, ReuseOptions{})
+	sample := buildReuseServiceTasks(t, []*config.Task{measured, helper}, ds, 4, ReuseOptions{DisableBatchScope: true})
+	dBatch := serviceDigest(t, batch, measured.Tag)
+	dSample := serviceDigest(t, sample, measured.Tag)
+	if dBatch != dSample {
+		t.Fatalf("batch-scoped output differs from per-sample baseline (%s vs %s)", dBatch[:12], dSample[:12])
+	}
+	rs := batch.ReuseStats()
+	if rs.XSampleGroups == 0 || rs.XSampleHits == 0 {
+		t.Fatalf("batch scope never fired across samples: %+v", rs)
+	}
+	if rsOff := sample.ReuseStats(); rsOff.XSampleHits != 0 || rsOff.XSampleGroups != 0 {
+		t.Fatalf("per-sample planning produced cross-sample groups: %+v", rsOff)
+	}
+}
+
+// TestBatchScopeSerialParallelIdentical: worker count must not leak into
+// output bytes when cross-sample groups race on derived-frame
+// publication.
+func TestBatchScopeSerialParallelIdentical(t *testing.T) {
+	ds := miniDataset(t, 3)
+	measured, helper := batchOverlapTasks(t, "-sp")
+	digests := map[string]string{}
+	for _, workers := range []int{1, 8} {
+		for _, reuse := range []ReuseOptions{{}, {DisableBatchScope: true}} {
+			s := buildReuseServiceTasks(t, []*config.Task{measured, helper}, ds, workers, reuse)
+			key := fmt.Sprintf("w%d-batch%v", workers, !reuse.DisableBatchScope)
+			digests[key] = serviceDigest(t, s, measured.Tag)
+		}
+	}
+	want := digests["w1-batchfalse"]
+	for key, d := range digests {
+		if d != want {
+			t.Fatalf("digest %s differs from serial per-sample baseline (%v)", key, digests)
+		}
+	}
+}
+
+// partialMotionDataset builds videos where motion is spatially confined:
+// source columns [0, 32) never change while columns [32, 48) are redrawn
+// with large deltas every frame. Each video is one GOP, so every
+// inter-frame gap is answerable from residual summaries. The static
+// region is bit-identical across frames (accumulated residual exactly
+// zero), which is the regime where tile-gated recompute must be exact.
+func partialMotionDataset(t testing.TB, n int) *dataset.Dataset {
+	t.Helper()
+	ds := &dataset.Dataset{Name: "partial-motion"}
+	for i := 0; i < n; i++ {
+		frames := make([]*frame.Frame, 40)
+		for fi := range frames {
+			f := frame.New(48, 48, 3)
+			for c := 0; c < 3; c++ {
+				plane := f.Plane(c)
+				for y := 0; y < 48; y++ {
+					for x := 0; x < 48; x++ {
+						if x < 32 {
+							plane[y*48+x] = byte((x*13 + y*7 + c*29 + i*41) % 251)
+						} else {
+							plane[y*48+x] = byte((x*31 + y*17 + c*11 + fi*53) % 251)
+						}
+					}
+				}
+			}
+			f.Index = fi
+			frames[fi] = f
+		}
+		clip, err := frame.NewClip(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := codec.Encode(clip, codec.EncodeParams{GOP: 40, FPS: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := dataset.VideoSpec{
+			Name: fmt.Sprintf("pm_%04d", i),
+			W:    48, H: 48, C: 3, Frames: 40, FPS: 30, GOP: 40,
+			Label: "partial",
+		}
+		ds.Videos = append(ds.Videos, dataset.Entry{Spec: spec, Video: v})
+	}
+	return ds
+}
+
+// TestTileGatePartialMotion: on spatially sparse motion the tile gate
+// must recompute only the output rectangle the moving tiles influence —
+// and because the static tiles are bit-identical across frames, the
+// spliced output must equal the full recompute exactly.
+func TestTileGatePartialMotion(t *testing.T) {
+	ds := partialMotionDataset(t, 3)
+	task := overlapTask(t, "tilegate", []config.OpSpec{
+		crop(48, 48, 0, 0), crop(48, 48, 16, 16),
+	})
+	gated := buildReuseService(t, task, ds, 4, ReuseOptions{ResidualGate: true})
+	plain := buildReuseService(t, task, ds, 4, ReuseOptions{})
+	dGated := serviceDigest(t, gated, task.Tag)
+	dPlain := serviceDigest(t, plain, task.Tag)
+	if dGated != dPlain {
+		t.Fatalf("tile-gated output differs on partial motion (%s vs %s)", dGated[:12], dPlain[:12])
+	}
+	rs := gated.ReuseStats()
+	if rs.TilePartialFrames == 0 {
+		t.Fatalf("tile gate never spliced a partial frame: %+v", rs)
+	}
+	if rs.TileStaticTiles == 0 || rs.TileDynamicTiles == 0 {
+		t.Fatalf("tile verdicts degenerate (want a mix of static and dynamic): %+v", rs)
+	}
+	if p := plain.ReuseStats(); p.TilePartialFrames != 0 || p.ResidualChecked != 0 {
+		t.Fatalf("gate ran while disabled: %+v", p)
+	}
+}
+
+// TestTileGateConservativeWholeFrameMotion: when every tile moves the
+// gate must fall through to full recompute — no splices, no skips — and
+// reproduce the baseline exactly.
+func TestTileGateConservativeWholeFrameMotion(t *testing.T) {
+	ds := miniDataset(t, 2)
+	task := overlapTask(t, "tilemove", []config.OpSpec{
+		crop(48, 48, 0, 0), crop(48, 48, 16, 16),
+	})
+	gated := buildReuseService(t, task, ds, 1, ReuseOptions{ResidualGate: true, ResidualThreshold: 1e-9})
+	plain := buildReuseService(t, task, ds, 1, ReuseOptions{})
+	if d1, d2 := serviceDigest(t, gated, task.Tag), serviceDigest(t, plain, task.Tag); d1 != d2 {
+		t.Fatalf("near-zero-threshold tile gate changed output bytes")
+	}
+	rs := gated.ReuseStats()
+	if rs.ResidualSkipped != 0 || rs.TilePartialFrames != 0 {
+		t.Fatalf("gate reused output at threshold 1e-9 on whole-frame motion: %+v", rs)
 	}
 }

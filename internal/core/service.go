@@ -89,6 +89,13 @@ type ReuseOptions struct {
 	// optimization is exact (byte-identical output), so it is on by
 	// default; disabling it reproduces the per-chain baseline.
 	DisableSuperset bool
+	// DisableBatchScope restricts superset planning to one sample at a
+	// time (the pre-batch-planner behavior): overlapping views still
+	// share within a sample, but chains of different samples of the same
+	// iteration never group. Batch scope is exact too — cross-sample
+	// members run the same deterministic prefix — so it is on by
+	// default.
+	DisableBatchScope bool
 	// ResidualGate enables residual-gated augmentation: frames whose
 	// accumulated codec residual stays below ResidualThreshold reuse the
 	// previous frame's augmented output instead of recomputing the chain.
@@ -166,8 +173,13 @@ type Service struct {
 	// reuse counters (atomic: bumped from intra-sample workers)
 	supersetHits    atomic.Int64 // views served from a shared superset region
 	supersetMisses  atomic.Int64 // superset regions computed fresh
+	xsampleHits     atomic.Int64 // superset hits served through a cross-sample group
+	xsampleGroups   atomic.Int64 // planned groups spanning more than one sample
 	residualChecked atomic.Int64 // frames tested against the residual gate
 	residualSkipped atomic.Int64 // frames that reused the previous output
+	tilePartial     atomic.Int64 // frames rebuilt tile-granularly (partial recompute)
+	tileStatic      atomic.Int64 // tiles spliced forward from the previous output
+	tileDynamic     atomic.Int64 // tiles recomputed within partial frames
 
 	mu sync.Mutex
 	// chunk state
@@ -250,6 +262,7 @@ func New(opts Options) (*Service, error) {
 		MemBudget:    opts.MemBudget,
 		Dir:          opts.CacheDir,
 		Shards:       opts.StoreShards,
+		ColdCompress: true, // popularity tiering: cold spills go compressed
 		Obs:          reg,
 		OnEvictStorm: func(reason string) { s.flight.Breach(reason) },
 	})
@@ -313,8 +326,13 @@ func New(opts Options) (*Service, error) {
 		return map[string]int64{
 			"superset_hits":           s.supersetHits.Load(),
 			"superset_misses":         s.supersetMisses.Load(),
+			"xsample_hits":            s.xsampleHits.Load(),
+			"xsample_groups":          s.xsampleGroups.Load(),
 			"residual_frames_checked": s.residualChecked.Load(),
 			"residual_frames_skipped": s.residualSkipped.Load(),
+			"tile_partial_frames":     s.tilePartial.Load(),
+			"tile_static_tiles":       s.tileStatic.Load(),
+			"tile_dynamic_tiles":      s.tileDynamic.Load(),
 			"gop_readmissions":        g.Readmissions,
 			"derived_bytes":           g.DerivedBytes,
 		}
@@ -427,8 +445,13 @@ func (s *Service) Counters() *metrics.CounterSet {
 	r := s.ReuseStats()
 	cs.Add("core.reuse.superset_hits", r.SupersetHits)
 	cs.Add("core.reuse.superset_misses", r.SupersetMisses)
+	cs.Add("core.reuse.xsample_hits", r.XSampleHits)
+	cs.Add("core.reuse.xsample_groups", r.XSampleGroups)
 	cs.Add("core.reuse.residual_frames_checked", r.ResidualChecked)
 	cs.Add("core.reuse.residual_frames_skipped", r.ResidualSkipped)
+	cs.Add("core.reuse.tile_partial_frames", r.TilePartialFrames)
+	cs.Add("core.reuse.tile_static_tiles", r.TileStaticTiles)
+	cs.Add("core.reuse.tile_dynamic_tiles", r.TileDynamicTiles)
 	for k, v := range frame.PoolStats() {
 		cs.Add(k, v)
 	}
@@ -443,10 +466,18 @@ type ReuseStats struct {
 	// SupersetHits counts views served as sub-slices of a shared superset
 	// region; SupersetMisses counts superset regions computed fresh.
 	SupersetHits, SupersetMisses int64
+	// XSampleHits counts superset hits served through a group spanning
+	// more than one sample of a batch; XSampleGroups counts such groups
+	// at plan time.
+	XSampleHits, XSampleGroups int64
 	// ResidualChecked counts frames tested against the residual gate;
 	// ResidualSkipped counts frames that reused the previous augmented
 	// output.
 	ResidualChecked, ResidualSkipped int64
+	// TilePartialFrames counts gated frames rebuilt tile-granularly
+	// (static tiles spliced forward, dynamic tiles recomputed);
+	// TileStaticTiles / TileDynamicTiles break those frames' tiles down.
+	TilePartialFrames, TileStaticTiles, TileDynamicTiles int64
 	// GOPReadmissions counts ghost-history readmissions in the GOP cache.
 	GOPReadmissions int64
 	// DerivedBytes is the cumulative footprint of cached superset frames.
@@ -457,12 +488,17 @@ type ReuseStats struct {
 func (s *Service) ReuseStats() ReuseStats {
 	g := s.gops.stats()
 	return ReuseStats{
-		SupersetHits:    s.supersetHits.Load(),
-		SupersetMisses:  s.supersetMisses.Load(),
-		ResidualChecked: s.residualChecked.Load(),
-		ResidualSkipped: s.residualSkipped.Load(),
-		GOPReadmissions: g.Readmissions,
-		DerivedBytes:    g.DerivedBytes,
+		SupersetHits:      s.supersetHits.Load(),
+		SupersetMisses:    s.supersetMisses.Load(),
+		XSampleHits:       s.xsampleHits.Load(),
+		XSampleGroups:     s.xsampleGroups.Load(),
+		ResidualChecked:   s.residualChecked.Load(),
+		ResidualSkipped:   s.residualSkipped.Load(),
+		TilePartialFrames: s.tilePartial.Load(),
+		TileStaticTiles:   s.tileStatic.Load(),
+		TileDynamicTiles:  s.tileDynamic.Load(),
+		GOPReadmissions:   g.Readmissions,
+		DerivedBytes:      g.DerivedBytes,
 	}
 }
 

@@ -1,0 +1,258 @@
+package core
+
+// Tile-granular residual gating. The whole-frame residual gate forfeits
+// its skip whenever any tile of the source moved; most video motion is
+// spatially sparse, so that throws away nearly-free frames. This layer
+// recomputes only the output pixels the moving tiles can influence and
+// splices them into a copy of the previous position's augmented output.
+//
+// The splice is only attempted for chains whose geometry is fully
+// analyzable: crop-family stages (augment.RegionOp with a concrete
+// window), at most one bilinear resize, and per-pixel ops
+// (augment.Pointwise) after the resize. For those chains the dynamic
+// source region maps to an exact output rectangle — crops translate it,
+// the resize kernel's inverse tap query (OutRangeX/OutRangeY) dilates it
+// to every output sample that reads a dynamic tap — and everything
+// outside that rectangle depends only on gate-passing tiles. When the
+// accumulated residual of a tile is exactly zero its pixels are
+// bit-identical across the gap, so the spliced frame equals a full
+// recompute; nonzero thresholds inherit the whole-frame gate's
+// approximate contract. Chains with any other op shape fall back to the
+// whole-frame gate (and full recompute on motion), never to a wrong
+// splice.
+
+import (
+	"sand/internal/augment"
+	"sand/internal/dataset"
+	"sand/internal/frame"
+	"sand/internal/graph"
+)
+
+// intersect returns the overlap of two rects (zero-size when disjoint).
+func (r cropRect) intersect(o cropRect) cropRect {
+	x0, y0 := r.x, r.y
+	if o.x > x0 {
+		x0 = o.x
+	}
+	if o.y > y0 {
+		y0 = o.y
+	}
+	x1, y1 := r.x+r.w, r.y+r.h
+	if o.x+o.w < x1 {
+		x1 = o.x + o.w
+	}
+	if o.y+o.h < y1 {
+		y1 = o.y + o.h
+	}
+	if x0 >= x1 || y0 >= y1 {
+		return cropRect{}
+	}
+	return cropRect{x0, y0, x1 - x0, y1 - y0}
+}
+
+// tilePlan is the analyzed geometry of one resolved chain: a composed
+// pre-resize source crop, an optional bilinear resize kernel, a composed
+// post-resize crop, and trailing per-pixel ops. It answers "which output
+// rectangle can a dynamic source region influence" and can compute
+// exactly that rectangle of the chain's output.
+type tilePlan struct {
+	pre    cropRect              // composed crop in source coordinates
+	kernel *augment.WindowKernel // nil when the chain has no resize
+	post   cropRect              // composed crop in resize-output coordinates
+	points []augment.Op          // per-pixel suffix, in chain order
+
+	outW, outH, outC int
+}
+
+// buildTilePlan analyzes one chain for tile-gated partial recompute,
+// returning nil when the chain contains any stage the splice cannot
+// reproduce exactly (a non-bilinear or second resize, a stochastic or
+// geometry-twisting op, a per-pixel op before the resize).
+func (s *Service) buildTilePlan(chain *graph.ResolvedChain, ent *dataset.Entry) *tilePlan {
+	w, h, c := ent.Video.W, ent.Video.H, ent.Video.C
+	p := &tilePlan{pre: cropRect{0, 0, w, h}}
+	for _, rop := range chain.Ops {
+		op := rop.Op
+		if rz, ok := op.(*augment.Resize); ok {
+			// Per-pixel ops before the resize don't commute with its
+			// interpolation; a second resize would need composed kernels.
+			if p.kernel != nil || len(p.points) > 0 {
+				return nil
+			}
+			k, ok := rz.Kernel(w, h)
+			if !ok {
+				return nil
+			}
+			p.kernel = k
+			w, h = rz.W, rz.H
+			p.post = cropRect{0, 0, w, h}
+			continue
+		}
+		if reg, ok := op.(augment.RegionOp); ok {
+			x, y, rw, rh, concrete := reg.Region(w, h)
+			if !concrete {
+				return nil
+			}
+			// Crops commute with the per-pixel suffix, so composing them
+			// into the window while points run on the extracted patch is
+			// exact.
+			if p.kernel == nil {
+				p.pre = cropRect{p.pre.x + x, p.pre.y + y, rw, rh}
+			} else {
+				p.post = cropRect{p.post.x + x, p.post.y + y, rw, rh}
+			}
+			w, h = rw, rh
+			continue
+		}
+		if _, ok := op.(augment.Pointwise); ok {
+			p.points = append(p.points, op)
+			w, h, c = graph.OpOutputGeometry(op, w, h, c)
+			continue
+		}
+		return nil
+	}
+	p.outW, p.outH, p.outC = w, h, c
+	return p
+}
+
+// outputRect maps a dynamic source-space region to the output rectangle
+// whose pixels can depend on it. A zero-size result means the region is
+// invisible to this chain (cropped away), so the whole output may be
+// copied forward.
+func (p *tilePlan) outputRect(dyn cropRect) cropRect {
+	vis := dyn.intersect(p.pre)
+	if vis.w <= 0 || vis.h <= 0 {
+		return cropRect{}
+	}
+	vis.x -= p.pre.x
+	vis.y -= p.pre.y
+	if p.kernel == nil {
+		return vis
+	}
+	ox0, ox1 := p.kernel.OutRangeX(vis.x, vis.x+vis.w)
+	oy0, oy1 := p.kernel.OutRangeY(vis.y, vis.y+vis.h)
+	o := cropRect{ox0, oy0, ox1 - ox0, oy1 - oy0}
+	o = o.intersect(p.post)
+	if o.w <= 0 || o.h <= 0 {
+		return cropRect{}
+	}
+	o.x -= p.post.x
+	o.y -= p.post.y
+	return o
+}
+
+// patch computes output rectangle r of the chain applied to source frame
+// f, as a fresh pooled frame the caller owns.
+func (p *tilePlan) patch(f *frame.Frame, r cropRect) (*frame.Frame, error) {
+	var patch *frame.Frame
+	var err error
+	if p.kernel != nil {
+		src := f
+		var pre *frame.Frame
+		if p.pre != (cropRect{0, 0, f.W, f.H}) {
+			pre, err = f.SubRect(p.pre.x, p.pre.y, p.pre.w, p.pre.h)
+			if err != nil {
+				return nil, err
+			}
+			src = pre
+		}
+		patch, err = p.kernel.ApplyWindow(src, p.post.x+r.x, p.post.y+r.y, r.w, r.h)
+		if pre != nil {
+			frame.Recycle(pre)
+		}
+	} else {
+		patch, err = f.SubRect(p.pre.x+r.x, p.pre.y+r.y, r.w, r.h)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The per-pixel suffix runs on the patch alone: Pointwise ops produce
+	// the same bytes on any sub-window, and the patch is exclusively
+	// owned, so the in-place path applies when offered.
+	wrapper := &frame.Clip{Frames: []*frame.Frame{patch}}
+	for _, op := range p.points {
+		if ip, ok := op.(augment.InPlacer); ok {
+			done, err := ip.ApplyInPlace(wrapper, nil)
+			if err != nil {
+				frame.Recycle(patch)
+				return nil, err
+			}
+			if done {
+				continue
+			}
+		}
+		res, err := op.Apply(wrapper, nil)
+		if err != nil {
+			frame.Recycle(patch)
+			return nil, err
+		}
+		if nxt := res.Frames[0]; nxt != patch {
+			frame.Recycle(patch)
+			patch = nxt
+			wrapper.Frames[0] = patch
+		}
+	}
+	return patch, nil
+}
+
+// gatedReuse attempts to serve position pos from the previous position's
+// output using mask's per-tile verdicts: a full copy-forward when every
+// (visible) tile is static, a tile splice when the chain is analyzable
+// and only part of the output moved. Returns done=false when the frame
+// must be recomputed in full.
+func (s *Service) gatedReuse(plan *tilePlan, mask *tileMask, ent *dataset.Entry,
+	lease *gopLease, out []*frame.Frame, pos, idx int) (bool, error) {
+
+	prev := out[pos-1]
+	copyForward := func() {
+		cp := frame.NewPooled(prev.W, prev.H, prev.C)
+		copy(cp.Pix, prev.Pix)
+		cp.Index = idx
+		cp.PTS = int64(idx) * 1000 / int64(ent.Video.FPS)
+		out[pos] = cp
+	}
+	if mask.allStatic() {
+		s.residualSkipped.Add(1)
+		copyForward()
+		return true, nil
+	}
+	if plan == nil || prev.W != plan.outW || prev.H != plan.outH || prev.C != plan.outC {
+		return false, nil
+	}
+	dx, dy, dw, dh := mask.dynamicBounds()
+	r := plan.outputRect(cropRect{dx, dy, dw, dh})
+	s.tileStatic.Add(int64(mask.staticCount))
+	s.tileDynamic.Add(int64(len(mask.static) - mask.staticCount))
+	if r.w <= 0 || r.h <= 0 {
+		// Every moving tile is cropped out of this chain's view: the
+		// output depends only on static pixels.
+		s.residualSkipped.Add(1)
+		copyForward()
+		return true, nil
+	}
+	if r.w == plan.outW && r.h == plan.outH {
+		return false, nil // whole output dirty: recompute normally
+	}
+	f, err := lease.frame(ent, idx)
+	if err != nil {
+		return false, nil // decode trouble: let the normal path surface it
+	}
+	patch, err := plan.patch(f, r)
+	if err != nil {
+		// Geometry the analyzer mis-predicted: fall back to the exact
+		// full recompute rather than fail the sample.
+		return false, nil
+	}
+	copyForward()
+	cp := out[pos]
+	for c := 0; c < cp.C; c++ {
+		src := patch.Plane(c)
+		dst := cp.Plane(c)
+		for y := 0; y < r.h; y++ {
+			copy(dst[(r.y+y)*cp.W+r.x:(r.y+y)*cp.W+r.x+r.w], src[y*r.w:(y+1)*r.w])
+		}
+	}
+	frame.Recycle(patch)
+	s.tilePartial.Add(1)
+	return true, nil
+}

@@ -1,6 +1,7 @@
 package frame
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -315,6 +316,37 @@ func BenchmarkDecodeFrame(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := DecodeFrame(enc); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func TestEncodeFrameFastRoundTrip(t *testing.T) {
+	f := New(33, 17, 3)
+	for i := range f.Pix {
+		f.Pix[i] = byte((i*31 + 7) % 251)
+	}
+	f.Index = 9
+	f.PTS = 1234
+	fast, err := EncodeFrameFast(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stored blocks trade size for decode speed; both must decode to the
+	// same frame through the one untouched decoder.
+	for name, data := range map[string][]byte{"fast": fast, "slow": slow} {
+		got, err := DecodeFrame(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.W != f.W || got.H != f.H || got.C != f.C || got.Index != f.Index || got.PTS != f.PTS {
+			t.Fatalf("%s: header mismatch: %+v", name, got)
+		}
+		if !bytes.Equal(got.Pix, f.Pix) {
+			t.Fatalf("%s: pixel bytes differ after round trip", name)
 		}
 	}
 }

@@ -26,6 +26,11 @@ const (
 // every EncodeFrame/DecodeFrame call on the storage hot path.
 var zlibWriterPool = sync.Pool{}
 
+// zlibStoredPool holds NoCompression writers for EncodeFrameFast; the
+// level is baked into the flate state, so fast and default writers pool
+// separately.
+var zlibStoredPool = sync.Pool{}
+
 type pooledZlibReader struct {
 	src bytes.Reader
 	zr  io.ReadCloser // also a zlib.Resetter
@@ -41,6 +46,17 @@ func getZlibWriter(dst io.Writer) *zlib.Writer {
 		return zw
 	}
 	return zlib.NewWriter(dst)
+}
+
+func getZlibStoredWriter(dst io.Writer) *zlib.Writer {
+	if v := zlibStoredPool.Get(); v != nil {
+		zw := v.(*zlib.Writer)
+		zw.Reset(dst)
+		poolCounters.zlibWriters.Add(1)
+		return zw
+	}
+	zw, _ := zlib.NewWriterLevel(dst, zlib.NoCompression) // level is valid: no error
+	return zw
 }
 
 func getZlibReader(data []byte) (*pooledZlibReader, error) {
@@ -65,6 +81,19 @@ func getZlibReader(data []byte) (*pooledZlibReader, error) {
 
 // EncodeFrame serializes f losslessly.
 func EncodeFrame(f *Frame) ([]byte, error) {
+	return encodeFrame(f, false)
+}
+
+// EncodeFrameFast serializes f losslessly in decode-cheap form: the zlib
+// stream uses stored (uncompressed) blocks, so DecodeFrame pays a memcpy
+// instead of an inflate. Bytes are larger, reads are cheaper — the
+// encoding the popularity-tiered store picks for hot objects. The output
+// is a standard stream; DecodeFrame handles both encodings untouched.
+func EncodeFrameFast(f *Frame) ([]byte, error) {
+	return encodeFrame(f, true)
+}
+
+func encodeFrame(f *Frame, fast bool) ([]byte, error) {
 	var buf bytes.Buffer
 	hdr := make([]byte, 28)
 	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
@@ -75,7 +104,12 @@ func EncodeFrame(f *Frame) ([]byte, error) {
 	binary.LittleEndian.PutUint64(hdr[20:], uint64(f.PTS))
 	buf.Write(hdr)
 
-	zw := getZlibWriter(&buf)
+	var zw *zlib.Writer
+	if fast {
+		zw = getZlibStoredWriter(&buf)
+	} else {
+		zw = getZlibWriter(&buf)
+	}
 	filtered := make([]byte, f.W)
 	for c := 0; c < f.C; c++ {
 		plane := f.Plane(c)
@@ -94,7 +128,11 @@ func EncodeFrame(f *Frame) ([]byte, error) {
 	if err := zw.Close(); err != nil {
 		return nil, fmt.Errorf("frame: compress close: %w", err)
 	}
-	zlibWriterPool.Put(zw)
+	if fast {
+		zlibStoredPool.Put(zw)
+	} else {
+		zlibWriterPool.Put(zw)
+	}
 	return buf.Bytes(), nil
 }
 

@@ -41,6 +41,48 @@ func clusterTask() *config.Task {
 	}
 }
 
+// clusterReuseTasks is the "reuse_batch" workload: batches of four
+// single-chain samples of one video whose random 48x48 crops resolve
+// inside a shared coordination window — a per-sample reuse planner has
+// nothing to group (each sample is one chain), so any cross-sample
+// superset hit is attributable to batch-scoped planning. The helper
+// task only widens the shared crop window (its tag sorts after the
+// measured task's, where the chunk planner anchors window geometry;
+// it is never read). The measured task keeps the "ddp" tag so batch
+// paths and the baseline comparison are identical to the default
+// workload's.
+func clusterReuseTasks() (*config.Task, []*config.Task) {
+	measured := &config.Task{
+		Tag:         "ddp",
+		Source:      config.SourceFile,
+		DatasetPath: "/dataset/kinetics-mini",
+		Sampling:    config.Sampling{VideosPerBatch: 1, FramesPerVideo: 6, FrameStride: 2, SamplesPerVideo: 4},
+		Stages: []config.Stage{{
+			Name: "aug", Type: config.BranchSingle,
+			Inputs: []string{"frame"}, Outputs: []string{"a0"},
+			Ops: []config.OpSpec{
+				{Op: "resize", Params: map[string]any{"shape": []any{56, 56}}},
+				{Op: "random_crop", Params: map[string]any{"shape": []any{48, 48}}},
+			},
+		}},
+	}
+	helper := &config.Task{
+		Tag:         "zwin",
+		Source:      config.SourceFile,
+		DatasetPath: "/dataset/kinetics-mini",
+		Sampling:    config.Sampling{VideosPerBatch: 1, FramesPerVideo: 1, FrameStride: 1, SamplesPerVideo: 1},
+		Stages: []config.Stage{{
+			Name: "wide", Type: config.BranchSingle,
+			Inputs: []string{"frame"}, Outputs: []string{"a0"},
+			Ops: []config.OpSpec{
+				{Op: "resize", Params: map[string]any{"shape": []any{56, 56}}},
+				{Op: "random_crop", Params: map[string]any{"shape": []any{52, 52}}},
+			},
+		}},
+	}
+	return measured, []*config.Task{helper}
+}
+
 // runCluster executes a cluster-mode scenario.
 func runCluster(sc *Scenario, tracer *obs.Tracer) (*Report, error) {
 	c := sc.Cluster
@@ -78,9 +120,14 @@ func runCluster(sc *Scenario, tracer *obs.Tracer) (*Report, error) {
 		return nil, err
 	}
 	task := clusterTask()
+	var extraTasks []*config.Task
+	if c.Workload == "reuse_batch" {
+		task, extraTasks = clusterReuseTasks()
+	}
 	h, err := cluster.NewFleetHarness(cluster.HarnessOptions{
 		Nodes:       nodes,
 		Task:        task,
+		ExtraTasks:  extraTasks,
 		Dataset:     ds,
 		ChunkEpochs: chunkEpochs,
 		TotalEpochs: epochs,
@@ -258,6 +305,19 @@ func runCluster(sc *Scenario, tracer *obs.Tracer) (*Report, error) {
 		}
 		snap.Set("sched.admission.engaged_ever", engagedEver)
 		snap.Set("sched.admission.released_ever", releasedEver)
+		// Cross-sample reuse across the fleet, boolean for the same
+		// reason: which node serves which batch depends on router health
+		// races, so per-node hit counts are nondeterministic — but with
+		// the reuse_batch workload some node always materializes a
+		// multi-sample batch, so "did batch-scoped planning ever share
+		// across samples" is safe for the run-twice report diff.
+		xsampleEver := 0.0
+		for _, n := range h.Nodes() {
+			if n.Service().ReuseStats().XSampleHits > 0 {
+				xsampleEver = 1
+			}
+		}
+		snap.Set("core.reuse.xsample_ever", xsampleEver)
 		return snap
 	}
 

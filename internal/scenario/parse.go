@@ -305,7 +305,8 @@ func (d *decoder) cluster(m map[string]any) *Cluster {
 		return nil
 	}
 	d.strictKeys("cluster", m, "nodes", "workers", "epochs", "chunk_epochs",
-		"videos", "read_ahead", "mem_budget_mb", "demand_slo_ms", "compare_baseline")
+		"videos", "read_ahead", "mem_budget_mb", "demand_slo_ms", "compare_baseline",
+		"workload")
 	c := &Cluster{
 		Nodes:       d.intval("cluster", "nodes", m["nodes"]),
 		Workers:     d.intval("cluster", "workers", m["workers"]),
@@ -315,6 +316,7 @@ func (d *decoder) cluster(m map[string]any) *Cluster {
 		ReadAhead:   d.intval("cluster", "read_ahead", m["read_ahead"]),
 		MemBudgetMB: d.intval("cluster", "mem_budget_mb", m["mem_budget_mb"]),
 		DemandSLOMS: d.floatval("cluster", "demand_slo_ms", m["demand_slo_ms"]),
+		Workload:    d.str("cluster", "workload", m["workload"]),
 	}
 	if v, ok := m["compare_baseline"]; ok {
 		b := d.boolval("cluster", "compare_baseline", v)
@@ -455,6 +457,11 @@ func (s *Scenario) Validate() error {
 		}
 	}
 	if s.Cluster != nil {
+		switch s.Cluster.Workload {
+		case "", "ddp", "reuse_batch":
+		default:
+			return fail("cluster: unknown workload %q (want ddp | reuse_batch)", s.Cluster.Workload)
+		}
 		n := s.Cluster.Nodes
 		if n == 0 {
 			n = 3

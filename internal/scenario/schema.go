@@ -180,6 +180,12 @@ type Cluster struct {
 	// force premat admission to engage, exposed to assertions as
 	// sched.admission.engaged_ever / released_ever.
 	DemandSLOMS float64 `json:"demand_slo_ms,omitempty"`
+	// Workload selects the task shape every node serves: "ddp" (the
+	// default single-chain resize task) or "reuse_batch" (batches of
+	// four single-chain samples whose random crops overlap inside a
+	// shared window, exercising cross-sample batch-scoped reuse —
+	// exposed to assertions as core.reuse.xsample_ever).
+	Workload string `json:"workload,omitempty"`
 	// CompareBaseline verifies every fleet-served batch byte-for-byte
 	// against a single-node engine with the same (config, seed), feeding
 	// the bytes_identical_to_baseline assertion metric (default true).

@@ -35,8 +35,11 @@
 package storage
 
 import (
+	"bytes"
+	"compress/flate"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -64,6 +67,13 @@ type Object struct {
 	// Ephemeral objects will not be needed in future epochs (safe to
 	// evict first once used).
 	Ephemeral bool
+	// Heat is the object's popularity score — for derived superset
+	// frames, the owning GOP-cache entry's observed acquire count at
+	// store time. Within an eviction class, colder objects evict first,
+	// so hot derived supersets stay memory-resident in their
+	// decode-cheap form while cold ones spill (compressed) to disk.
+	// Zero everywhere reproduces the legacy heat-blind order exactly.
+	Heat int64
 
 	// pins is the number of outstanding Pin leases on this object while
 	// it is memory-resident. A pinned object is skipped by eviction
@@ -103,6 +113,11 @@ type Stats struct {
 	// EvictStorms counts detected eviction storms: stormPasses evicting
 	// passes inside stormWindow (see Options.OnEvictStorm).
 	EvictStorms int64
+	// CompressedSpills counts cold (zero-heat) spills that landed on disk
+	// flate-compressed; SpillBytesSaved is the bytes that compression
+	// shaved off them.
+	CompressedSpills int64
+	SpillBytesSaved  int64
 }
 
 // Eviction-storm detection: this many evicting passes within the window
@@ -152,9 +167,10 @@ type promotion struct {
 // Store is the two-tier sharded object store. All methods are safe for
 // concurrent use.
 type Store struct {
-	memBudget  int64
-	diskBudget int64
-	dir        string // disk tier directory; "" disables the disk tier
+	memBudget    int64
+	diskBudget   int64
+	dir          string // disk tier directory; "" disables the disk tier
+	coldCompress bool
 
 	shards []shard
 	mask   uint32
@@ -170,6 +186,11 @@ type Store struct {
 	evictions  atomic.Int64
 	spills     atomic.Int64
 	promotions atomic.Int64
+
+	// Popularity-tier counters: cold spills written compressed, and the
+	// bytes that saved.
+	compressedSpills atomic.Int64
+	spillSaved       atomic.Int64
 
 	// evictMu serializes eviction passes so concurrent over-watermark
 	// Puts do not stampede into redundant passes. Plain Put/Get/Delete
@@ -220,6 +241,11 @@ type Options struct {
 	// Obs receives store gauges, counters and trace events. Nil means
 	// no registration (tracing calls are nil-safe no-ops).
 	Obs *obs.Registry
+	// ColdCompress opts spills of cold (zero-heat) objects into flate
+	// compression on the disk tier (the popularity-tiered layout). Off,
+	// every spill is written verbatim — the legacy byte-accounting
+	// contract.
+	ColdCompress bool
 	// OnEvictStorm is invoked — outside store locks — when an eviction
 	// storm is detected (stormPasses evicting passes within stormWindow,
 	// rate-limited to one invocation per stormCooldown). The engine
@@ -253,14 +279,15 @@ func Open(opts Options) (*Store, error) {
 	}
 	n := shardCount(opts.Shards)
 	s := &Store{
-		memBudget:  opts.MemBudget,
-		diskBudget: opts.DiskBudget,
-		dir:        opts.Dir,
-		shards:     make([]shard, n),
-		mask:       uint32(n - 1),
-		tr:         opts.Obs.Trace(),
-		onStorm:    opts.OnEvictStorm,
-		stormTimes: make([]time.Time, stormPasses),
+		memBudget:    opts.MemBudget,
+		diskBudget:   opts.DiskBudget,
+		dir:          opts.Dir,
+		coldCompress: opts.ColdCompress,
+		shards:       make([]shard, n),
+		mask:         uint32(n - 1),
+		tr:           opts.Obs.Trace(),
+		onStorm:      opts.OnEvictStorm,
+		stormTimes:   make([]time.Time, stormPasses),
 	}
 	for i := range s.shards {
 		s.shards[i].mem = map[string]*Object{}
@@ -305,6 +332,26 @@ func Open(opts Options) (*Store, error) {
 				"evict_storms": st.EvictStorms,
 			}
 		})
+		r.SnapshotFunc("storage.tier", func() map[string]int64 {
+			var hotObjs, hotBytes int64
+			for i := range s.shards {
+				sh := &s.shards[i]
+				sh.mu.Lock()
+				for _, o := range sh.mem {
+					if o.Heat > 0 {
+						hotObjs++
+						hotBytes += int64(len(o.Data))
+					}
+				}
+				sh.mu.Unlock()
+			}
+			return map[string]int64{
+				"hot_objects":       hotObjs,
+				"hot_bytes":         hotBytes,
+				"compressed_spills": s.compressedSpills.Load(),
+				"spill_bytes_saved": s.spillSaved.Load(),
+			}
+		})
 	}
 	if s.dir != "" {
 		if err := os.MkdirAll(s.dir, 0o755); err != nil {
@@ -336,7 +383,14 @@ func (s *Store) recover() error {
 		if err != nil {
 			return err
 		}
-		if d.IsDir() || !strings.HasSuffix(path, ".obj") {
+		suffix := ""
+		switch {
+		case strings.HasSuffix(path, ".objz"):
+			suffix = ".objz" // cold spill, flate-compressed
+		case strings.HasSuffix(path, ".obj"):
+			suffix = ".obj"
+		}
+		if d.IsDir() || suffix == "" {
 			return nil
 		}
 		info, err := d.Info()
@@ -347,7 +401,7 @@ func (s *Store) recover() error {
 		if err != nil {
 			return err
 		}
-		key := "/" + strings.TrimSuffix(filepath.ToSlash(rel), ".obj")
+		key := "/" + strings.TrimSuffix(filepath.ToSlash(rel), suffix)
 		s.shardFor(key).disk[key] = diskEntry{path: path, size: info.Size()}
 		s.diskBytes.Add(info.Size())
 		return nil
@@ -455,6 +509,9 @@ func (s *Store) Get(key string) (*Object, error) {
 	sh.mu.Unlock()
 
 	data, err := readFile(ent.path)
+	if err == nil && strings.HasSuffix(ent.path, ".objz") {
+		data, err = inflateAll(data)
+	}
 	if errors.Is(err, os.ErrNotExist) {
 		// The entry was deleted between the lookup and the read; report
 		// a plain miss, as if the Get had lost the race to the Delete.
@@ -637,18 +694,30 @@ func (s *Store) writeDiskLocked(sh *shard, obj *Object) error {
 	if s.dir == "" {
 		return fmt.Errorf("storage: no disk tier configured")
 	}
-	size := int64(len(obj.Data))
+	// Popularity tiering, storage half: cold (zero-heat) objects go to
+	// disk flate-compressed when that actually shrinks them — already-
+	// compressed payloads are kept verbatim — while hot objects keep
+	// their decode-cheap bytes. The compressed form carries an ".objz"
+	// suffix so recovery and promotion know to inflate.
+	data := obj.Data
+	path := s.diskPath(obj.Key)
+	compressed := false
+	if s.coldCompress && obj.Heat == 0 {
+		if z, ok := deflateSmaller(obj.Data); ok {
+			data, path, compressed = z, path+"z", true
+		}
+	}
+	size := int64(len(data))
 	if newTotal := s.diskBytes.Add(size); s.diskBudget > 0 && newTotal > s.diskBudget {
 		s.diskBytes.Add(-size)
 		return fmt.Errorf("storage: disk budget exhausted (%d + %d > %d)", newTotal-size, size, s.diskBudget)
 	}
-	path := s.diskPath(obj.Key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		s.diskBytes.Add(-size)
 		return fmt.Errorf("storage: %w", err)
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, obj.Data, 0o644); err != nil {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		s.diskBytes.Add(-size)
 		return fmt.Errorf("storage: %w", err)
 	}
@@ -658,19 +727,63 @@ func (s *Store) writeDiskLocked(sh *shard, obj *Object) error {
 	}
 	if old, ok := sh.disk[obj.Key]; ok {
 		s.diskBytes.Add(-old.size)
+		if old.path != path {
+			os.Remove(old.path) // suffix changed: drop the stale twin
+		}
 	}
 	sh.disk[obj.Key] = diskEntry{path: path, size: size}
 	s.spills.Add(1)
+	if compressed {
+		s.compressedSpills.Add(1)
+		s.spillSaved.Add(int64(len(obj.Data)) - size)
+	}
 	return nil
 }
 
-// evictBefore is the §6 eviction priority: used-and-unneeded ephemeral
-// objects first, then longest-deadline objects, keys breaking ties.
+// deflateSmaller compresses data with flate (BestSpeed) and reports
+// whether the result is actually smaller; callers keep the original
+// bytes otherwise.
+func deflateSmaller(data []byte) ([]byte, bool) {
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := zw.Write(data); err != nil {
+		return nil, false
+	}
+	if err := zw.Close(); err != nil {
+		return nil, false
+	}
+	if buf.Len() >= len(data) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// inflateAll reverses deflateSmaller.
+func inflateAll(data []byte) ([]byte, error) {
+	zr := flate.NewReader(bytes.NewReader(data))
+	out, err := io.ReadAll(zr)
+	if cerr := zr.Close(); err == nil {
+		err = cerr
+	}
+	return out, err
+}
+
+// evictBefore is the §6 eviction priority extended with popularity
+// tiering: used-and-unneeded ephemeral objects first, colder (lower
+// Heat) objects before hotter ones within a class, then longest-deadline
+// objects, keys breaking ties. With all heats zero the order is exactly
+// the legacy heat-blind policy.
 func evictBefore(a, b *Object) bool {
 	aFirst := a.Used && a.Ephemeral
 	bFirst := b.Used && b.Ephemeral
 	if aFirst != bFirst {
 		return aFirst
+	}
+	if a.Heat != b.Heat {
+		return a.Heat < b.Heat // cold evicts first
 	}
 	if a.Deadline != b.Deadline {
 		return a.Deadline > b.Deadline // longest deadline first
@@ -684,6 +797,7 @@ type victim struct {
 	key      string
 	size     int64
 	deadline int64
+	heat     int64
 	ueph     bool // Used && Ephemeral: the first-priority class
 }
 
@@ -691,6 +805,9 @@ type victim struct {
 func victimBefore(a, b victim) bool {
 	if a.ueph != b.ueph {
 		return a.ueph
+	}
+	if a.heat != b.heat {
+		return a.heat < b.heat
 	}
 	if a.deadline != b.deadline {
 		return a.deadline > b.deadline
@@ -720,7 +837,7 @@ func (s *Store) refreshCand(i int) {
 			// before acting on a stale listing.
 			continue
 		}
-		vs = append(vs, victim{key: o.Key, size: int64(len(o.Data)), deadline: o.Deadline, ueph: o.Used && o.Ephemeral})
+		vs = append(vs, victim{key: o.Key, size: int64(len(o.Data)), deadline: o.Deadline, heat: o.Heat, ueph: o.Used && o.Ephemeral})
 	}
 	gen := sh.gen
 	sh.mu.Unlock()
@@ -956,15 +1073,17 @@ func (s *Store) Keys(prefix string) []string {
 // counters are atomic loads; object counts take each shard lock briefly.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		MemBytes:    s.memBytes.Load(),
-		DiskBytes:   s.diskBytes.Load(),
-		PinnedBytes: s.pinnedBytes.Load(),
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Evictions:   s.evictions.Load(),
-		Spills:      s.spills.Load(),
-		Promotions:  s.promotions.Load(),
-		EvictStorms: s.storms.Load(),
+		MemBytes:         s.memBytes.Load(),
+		DiskBytes:        s.diskBytes.Load(),
+		PinnedBytes:      s.pinnedBytes.Load(),
+		Hits:             s.hits.Load(),
+		Misses:           s.misses.Load(),
+		Evictions:        s.evictions.Load(),
+		Spills:           s.spills.Load(),
+		Promotions:       s.promotions.Load(),
+		EvictStorms:      s.storms.Load(),
+		CompressedSpills: s.compressedSpills.Load(),
+		SpillBytesSaved:  s.spillSaved.Load(),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]

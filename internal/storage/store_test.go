@@ -345,3 +345,85 @@ func TestEvictionEventsEmitted(t *testing.T) {
 		t.Fatalf("no evict_pass spans: %v", kinds)
 	}
 }
+
+func TestEvictionOrderColdestFirst(t *testing.T) {
+	s := newSingleShardStore(t, 1000)
+	// Same deadline class: heat alone decides the order, coldest first.
+	hot := obj("/hot", 200, 10)
+	hot.Heat = 5
+	warm := obj("/warm", 200, 10)
+	warm.Heat = 2
+	cold := obj("/cold", 200, 10)
+	s.Put(hot)
+	s.Put(warm)
+	s.Put(cold)
+	// Push over the 750 threshold: one eviction needed.
+	s.Put(obj("/push", 300, 5))
+	if in, _ := s.Contains("/cold"); in {
+		t.Fatal("zero-heat object survived eviction ahead of hotter peers")
+	}
+	for _, key := range []string{"/hot", "/warm"} {
+		if in, _ := s.Contains(key); !in {
+			t.Fatalf("%s evicted before the colder object", key)
+		}
+	}
+}
+
+func TestColdSpillCompressed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{MemBudget: 1000, Dir: dir, Shards: 1, ColdCompress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Highly compressible cold payload vs a hot twin: only the cold one
+	// may spill compressed.
+	cold := &Object{Key: "/t/cold", Data: bytes.Repeat([]byte{7}, 300), Deadline: 50}
+	hot := &Object{Key: "/t/hot", Data: bytes.Repeat([]byte{7}, 300), Deadline: 50, Heat: 3}
+	s.Put(cold)
+	s.Put(hot)
+	s.Put(&Object{Key: "/t/push", Data: bytes.Repeat([]byte{1}, 400), Deadline: 1})
+	if got := s.compressedSpills.Load(); got != 1 {
+		t.Fatalf("compressed spills = %d, want 1 (cold object only)", got)
+	}
+	if saved := s.spillSaved.Load(); saved <= 0 {
+		t.Fatalf("spill_bytes_saved = %d, want > 0", saved)
+	}
+	// Both spilled objects must promote back byte-identical.
+	for _, key := range []string{"/t/cold", "/t/hot"} {
+		got, err := s.Get(key)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", key, err)
+		}
+		if !bytes.Equal(got.Data, bytes.Repeat([]byte{7}, 300)) {
+			t.Fatalf("Get(%s) returned corrupted bytes after spill round-trip", key)
+		}
+	}
+}
+
+func TestColdSpillRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{MemBudget: 10000, Dir: dir, ColdCompress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{9}, 500)
+	if err := s.Put(&Object{Key: "/r/cold", Data: want, Deadline: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Persist("/r/cold"); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store over the same directory must recover the compressed
+	// (.objz) object and inflate it on read.
+	s2, err := Open(Options{MemBudget: 10000, Dir: dir, ColdCompress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get("/r/cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, want) {
+		t.Fatal("recovered compressed spill returned different bytes")
+	}
+}
